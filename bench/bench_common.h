@@ -1,0 +1,67 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Figures 3-7 project the same hyper-parameter sweep onto different
+// metrics; the sweep is trained once per (dataset, scale) and cached on
+// disk (kvec_bench_cache/), so running all five binaries costs one sweep.
+#ifndef KVEC_BENCH_BENCH_COMMON_H_
+#define KVEC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/presets.h"
+#include "exp/cache.h"
+#include "exp/method.h"
+#include "exp/sweep.h"
+#include "util/table.h"
+
+namespace kvec {
+namespace bench {
+
+inline const std::vector<PresetId>& CurveDatasets() {
+  static const std::vector<PresetId> datasets = {
+      PresetId::kUstcTfc2016, PresetId::kMovieLens1M, PresetId::kTrafficFg,
+      PresetId::kTrafficApp};
+  return datasets;
+}
+
+// Loads (or trains) the all-method sweep for one dataset.
+inline std::vector<SweepPoint> CurveSweep(PresetId id,
+                                          ExperimentScale scale) {
+  SweepCache cache = SweepCache::Default();
+  std::string key = std::string("sweep_") + PresetName(id) + "_" +
+                    ScaleName(scale);
+  return cache.LoadOrCompute(key, [&]() {
+    std::fprintf(stderr, "[bench] training sweep for %s (%s scale)...\n",
+                 PresetName(id), ScaleName(scale));
+    Dataset dataset = MakePresetDataset(id, scale, /*seed=*/20240411);
+    MethodRunOptions options = MethodRunOptions::ForScale(scale);
+    return RunAllMethodSweeps(dataset, options);
+  });
+}
+
+// Prints one figure: the chosen metric vs earliness for all methods on the
+// four real-dataset stand-ins, in the layout of Figs. 3-7.
+inline void PrintCurveFigure(const char* figure_name, const char* metric_name,
+                             double SweepPoint::*metric) {
+  ExperimentScale scale = ScaleFromEnv();
+  std::printf("=== %s: %s vs earliness (scale=%s) ===\n", figure_name,
+              metric_name, ScaleName(scale));
+  for (PresetId id : CurveDatasets()) {
+    std::vector<SweepPoint> points = CurveSweep(id, scale);
+    std::printf("\n--- dataset: %s ---\n", PresetName(id));
+    Table table({"method", "hyper", "earliness(%)", metric_name});
+    for (const SweepPoint& point : points) {
+      table.AddRow({point.method, Table::FormatDouble(point.hyper, 4),
+                    Table::FormatDouble(100.0 * point.earliness, 2),
+                    Table::FormatDouble(point.*metric, 4)});
+    }
+    std::fputs(table.ToText().c_str(), stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace kvec
+
+#endif  // KVEC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,41 @@
+// Extension: five-fold cross-validation of KVEC (the paper's evaluation
+// protocol, §V-A.4) on the USTC-TFC2016 stand-in, reporting mean ± std of
+// every metric. The figure binaries use a single split for runtime; this
+// bench quantifies the fold-to-fold variance those point estimates carry.
+#include <cstdio>
+
+#include "data/presets.h"
+#include "exp/cv.h"
+#include "exp/method.h"
+#include "util/table.h"
+
+using namespace kvec;
+
+int main() {
+  ExperimentScale scale = ScaleFromEnv();
+  const int folds = 5;
+  std::printf(
+      "=== Extension: %d-fold cross-validation of KVEC on USTC-TFC2016 "
+      "(scale=%s) ===\n",
+      folds, ScaleName(scale));
+  Dataset dataset =
+      MakePresetDataset(PresetId::kUstcTfc2016, scale, /*seed=*/20240610);
+  MethodRunOptions options = MethodRunOptions::ForScale(scale);
+
+  Table table({"beta", "metric", "mean", "std"});
+  for (double beta : {0.0, 5e-3, 5e-2}) {
+    CrossValidationSummary cv =
+        CrossValidate(KvecMethod(), beta, dataset, folds, options);
+    auto row = [&](const char* name, double mean, double stddev) {
+      table.AddRow({Table::FormatDouble(beta, 3), name,
+                    Table::FormatDouble(mean, 4),
+                    Table::FormatDouble(stddev, 4)});
+    };
+    row("earliness", cv.mean.earliness, cv.stddev.earliness);
+    row("accuracy", cv.mean.accuracy, cv.stddev.accuracy);
+    row("macro_f1", cv.mean.macro_f1, cv.stddev.macro_f1);
+    row("harmonic_mean", cv.mean.harmonic_mean, cv.stddev.harmonic_mean);
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Extended comparison: the paper's five methods plus the two classical
+// Related-Work families the paper argues against but does not evaluate
+// (prefix-based stability halting, feature-based indicator matching), on
+// the USTC-TFC2016 stand-in.
+//
+// Expected shape: the classical methods are competitive only when the class
+// signal is a literal token pattern; the learned methods dominate the
+// earliness-accuracy frontier, with KVEC on top in the early regime (its
+// advantage is the inter-sequence value correlation the others cannot use).
+#include <cstdio>
+#include <vector>
+
+#include "data/presets.h"
+#include "exp/method.h"
+#include "exp/sweep.h"
+#include "util/table.h"
+
+using namespace kvec;
+
+int main() {
+  ExperimentScale scale = ScaleFromEnv();
+  std::printf(
+      "=== Extension: 7-method comparison on USTC-TFC2016 (scale=%s) ===\n",
+      ScaleName(scale));
+  Dataset dataset =
+      MakePresetDataset(PresetId::kUstcTfc2016, scale, /*seed=*/20240611);
+  MethodRunOptions options = MethodRunOptions::ForScale(scale);
+
+  Table table(
+      {"method", "hyper", "earliness(%)", "accuracy(%)", "f1", "hm"});
+  for (const MethodSpec& method : AllMethodsExtended()) {
+    for (double hyper : method.grid) {
+      EvaluationResult result = method.run(dataset, hyper, options);
+      table.AddRow({method.name, Table::FormatDouble(hyper, 3),
+                    Table::FormatDouble(100 * result.summary.earliness, 1),
+                    Table::FormatDouble(100 * result.summary.accuracy, 1),
+                    Table::FormatDouble(result.summary.macro_f1, 3),
+                    Table::FormatDouble(result.summary.harmonic_mean, 3)});
+    }
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+  return 0;
+}

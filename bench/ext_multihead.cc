@@ -1,0 +1,57 @@
+// Extension: attention heads in the KVRL encoder.
+//
+// The paper's attention operator is single-head (no output projection);
+// this bench measures whether splitting the same embedding width into
+// 2 or 4 heads (standard multi-head attention with a learned W_o) changes
+// the earliness-accuracy trade-off at our scale. Expected shape: small or
+// no gain — the tangled-stream mask already structures the attention, and
+// at d=24 the per-head dimension gets thin quickly.
+#include <cstdio>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/presets.h"
+#include "exp/method.h"
+#include "util/table.h"
+
+using namespace kvec;
+
+int main() {
+  ExperimentScale scale = ScaleFromEnv();
+  std::printf(
+      "=== Extension: attention heads on USTC-TFC2016 (scale=%s) ===\n",
+      ScaleName(scale));
+  Dataset dataset =
+      MakePresetDataset(PresetId::kUstcTfc2016, scale, /*seed=*/20240617);
+  MethodRunOptions options = MethodRunOptions::ForScale(scale);
+
+  Table table({"heads", "beta", "earliness(%)", "accuracy(%)", "hm"});
+  for (int heads : {1, 2, 4}) {
+    for (double beta : {5e-3, 5e-2}) {
+      KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+      config.embed_dim = options.embed_dim;
+      // Make the width divisible by every head count tested.
+      config.embed_dim = (config.embed_dim / 4) * 4;
+      config.state_dim = options.state_dim;
+      config.num_blocks = options.num_blocks;
+      config.ffn_hidden_dim = options.ffn_hidden_dim;
+      config.learning_rate = options.learning_rate;
+      config.baseline_learning_rate = options.learning_rate;
+      config.epochs = options.epochs;
+      config.seed = options.seed;
+      config.beta = static_cast<float>(beta);
+      config.num_heads = heads;
+      KvecModel model(config);
+      KvecTrainer trainer(&model);
+      trainer.Train(dataset.train);
+      EvaluationResult result = trainer.Evaluate(dataset.test);
+      table.AddRow({std::to_string(heads), Table::FormatDouble(beta, 3),
+                    Table::FormatDouble(100 * result.summary.earliness, 1),
+                    Table::FormatDouble(100 * result.summary.accuracy, 1),
+                    Table::FormatDouble(result.summary.harmonic_mean, 3)});
+    }
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+  return 0;
+}

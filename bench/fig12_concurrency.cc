@@ -1,0 +1,61 @@
+// Reproduces Figure 12: effect of the number of concurrent key-value
+// sequences K on KVEC's accuracy and harmonic mean (Traffic-FG).
+#include <cstdio>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/presets.h"
+#include "data/traffic_generator.h"
+#include "exp/method.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kvec;
+  ExperimentScale scale = ScaleFromEnv();
+  std::printf(
+      "=== Figure 12: effect of concurrency K on Traffic-FG (scale=%s) "
+      "===\n",
+      ScaleName(scale));
+  MethodRunOptions options = MethodRunOptions::ForScale(scale);
+
+  Table table({"K", "earliness(%)", "accuracy(%)", "hm"});
+  for (int concurrency = 1; concurrency <= 5; ++concurrency) {
+    // Rebuild the Traffic-FG stand-in with K concurrent flows per episode.
+    TrafficGeneratorConfig generator_config;
+    generator_config.name = "Traffic-FG";
+    generator_config.num_classes = 12;
+    generator_config.avg_flow_length =
+        50.7 * (scale == ExperimentScale::kTiny ? 0.4 : 0.7) * 0.7;
+    generator_config.min_flow_length = 8;
+    generator_config.burst_continue_prob = 0.58;
+    generator_config.concurrency = concurrency;
+    generator_config.classes_per_episode = 2;
+    generator_config.profile_seed = 1801;
+    TrafficGenerator generator(generator_config);
+    Dataset dataset = GenerateDataset(
+        generator, PresetSplitCounts(PresetId::kTrafficFg, scale),
+        /*seed=*/20240412);
+
+    KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+    config.embed_dim = options.embed_dim;
+    config.state_dim = options.state_dim;
+    config.num_blocks = options.num_blocks;
+    config.ffn_hidden_dim = options.ffn_hidden_dim;
+    config.learning_rate = options.learning_rate;
+    config.baseline_learning_rate = options.learning_rate;
+    config.epochs = options.epochs;
+    config.seed = options.seed;
+    config.beta = 5e-3f;
+    KvecModel model(config);
+    KvecTrainer trainer(&model);
+    trainer.Train(dataset.train);
+    EvaluationResult result = trainer.Evaluate(dataset.test);
+    table.AddRow({std::to_string(concurrency),
+                  Table::FormatDouble(100 * result.summary.earliness, 1),
+                  Table::FormatDouble(100 * result.summary.accuracy, 1),
+                  Table::FormatDouble(result.summary.harmonic_mean, 3)});
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 3: accuracy vs earliness for all five methods on the
+// four real-dataset stand-ins. Shares its training sweep with Figs. 4-7
+// through the on-disk cache.
+#include "bench_common.h"
+
+int main() {
+  kvec::bench::PrintCurveFigure("Figure 3", "accuracy",
+                                &kvec::SweepPoint::accuracy);
+  return 0;
+}

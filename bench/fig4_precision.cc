@@ -1,0 +1,8 @@
+// Reproduces Figure 4: macro precision vs earliness (shared sweep cache).
+#include "bench_common.h"
+
+int main() {
+  kvec::bench::PrintCurveFigure("Figure 4", "precision",
+                                &kvec::SweepPoint::precision);
+  return 0;
+}

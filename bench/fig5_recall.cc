@@ -1,0 +1,8 @@
+// Reproduces Figure 5: macro recall vs earliness (shared sweep cache).
+#include "bench_common.h"
+
+int main() {
+  kvec::bench::PrintCurveFigure("Figure 5", "recall",
+                                &kvec::SweepPoint::recall);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 6: macro F1 vs earliness (shared sweep cache).
+#include "bench_common.h"
+
+int main() {
+  kvec::bench::PrintCurveFigure("Figure 6", "f1", &kvec::SweepPoint::f1);
+  return 0;
+}

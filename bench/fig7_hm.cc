@@ -1,0 +1,9 @@
+// Reproduces Figure 7: harmonic mean of accuracy and (1 - earliness) vs
+// earliness (shared sweep cache).
+#include "bench_common.h"
+
+int main() {
+  kvec::bench::PrintCurveFigure("Figure 7", "hm",
+                                &kvec::SweepPoint::harmonic_mean);
+  return 0;
+}

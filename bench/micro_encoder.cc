@@ -1,0 +1,113 @@
+// Micro benchmarks of the KVRL encoder: batch encoding, mask construction,
+// and the incremental streaming encoder (the ablation for DESIGN.md §4.1 —
+// O(t·d) per arriving item vs re-encoding the whole prefix).
+#include <benchmark/benchmark.h>
+
+#include "core/encoder.h"
+#include "core/model.h"
+#include "data/traffic_generator.h"
+
+namespace kvec {
+namespace {
+
+TrafficGeneratorConfig StreamConfig(int concurrency, double flow_length) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 6;
+  config.concurrency = concurrency;
+  config.avg_flow_length = flow_length;
+  config.min_flow_length = 8;
+  return config;
+}
+
+KvecConfig EncoderConfig(const DatasetSpec& spec) {
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  config.embed_dim = 24;
+  config.num_blocks = 2;
+  config.ffn_hidden_dim = 48;
+  config.dropout = 0.0f;
+  return config;
+}
+
+void BM_BuildEpisodeMask(benchmark::State& state) {
+  TrafficGenerator generator(StreamConfig(4, state.range(0)));
+  Rng rng(1);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  KvecConfig config = EncoderConfig(generator.spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildEpisodeMask(episode, config.correlation));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(episode.items.size()));
+}
+BENCHMARK(BM_BuildEpisodeMask)->Arg(20)->Arg(60);
+
+void BM_BatchEncode(benchmark::State& state) {
+  TrafficGenerator generator(StreamConfig(4, state.range(0)));
+  Rng rng(2);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  KvecConfig config = EncoderConfig(generator.spec());
+  Rng init_rng(3);
+  KvrlEncoder encoder(config, init_rng);
+  EpisodeIndex index = EpisodeIndex::Build(episode);
+  Rng fwd_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encoder.Forward(episode, index, fwd_rng, /*training=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(episode.items.size()));
+}
+BENCHMARK(BM_BatchEncode)->Arg(20)->Arg(60);
+
+// Whole-stream cost of the incremental encoder (one pass, one row per
+// item). Compare items/s against BM_NaiveStreamingEncode.
+void BM_IncrementalStreamEncode(benchmark::State& state) {
+  TrafficGenerator generator(StreamConfig(4, state.range(0)));
+  Rng rng(5);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  KvecConfig config = EncoderConfig(generator.spec());
+  Rng init_rng(6);
+  KvrlEncoder encoder(config, init_rng);
+  EpisodeIndex index = EpisodeIndex::Build(episode);
+  for (auto _ : state) {
+    IncrementalEncoder incremental(encoder);
+    CorrelationTracker tracker(config.correlation);
+    for (size_t t = 0; t < episode.items.size(); ++t) {
+      std::vector<int> visible = tracker.ObserveItem(episode.items[t]);
+      benchmark::DoNotOptimize(incremental.AppendItem(
+          episode.items[t], index.position_in_key[t], visible));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(episode.items.size()));
+}
+BENCHMARK(BM_IncrementalStreamEncode)->Arg(20)->Arg(60);
+
+// The naive alternative: re-encode the whole prefix after every arrival
+// (what a system without the causal-mask insight would do).
+void BM_NaiveStreamingEncode(benchmark::State& state) {
+  TrafficGenerator generator(StreamConfig(4, state.range(0)));
+  Rng rng(7);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  KvecConfig config = EncoderConfig(generator.spec());
+  Rng init_rng(8);
+  KvrlEncoder encoder(config, init_rng);
+  Rng fwd_rng(9);
+  for (auto _ : state) {
+    TangledSequence prefix;
+    prefix.labels = episode.labels;
+    for (size_t t = 0; t < episode.items.size(); ++t) {
+      prefix.items.push_back(episode.items[t]);
+      benchmark::DoNotOptimize(
+          encoder.Forward(prefix, EpisodeIndex::Build(prefix), fwd_rng,
+                          /*training=*/false));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(episode.items.size()));
+}
+BENCHMARK(BM_NaiveStreamingEncode)->Arg(20);
+
+}  // namespace
+}  // namespace kvec

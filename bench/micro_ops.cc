@@ -1,0 +1,113 @@
+// Micro benchmarks of the tensor operators on model-shaped workloads.
+#include <benchmark/benchmark.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace {
+
+Tensor RandomTensor(int rows, int cols, Rng& rng, bool grad = false) {
+  Tensor t = Tensor::Zeros(rows, cols, grad);
+  for (float& v : t.data()) v = static_cast<float>(rng.NextGaussian());
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = RandomTensor(n, n, rng);
+  Tensor b = RandomTensor(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor scores = RandomTensor(t, t, rng);
+  Tensor mask = Tensor::Full(t, t, 0.0f);
+  for (int i = 0; i < t; ++i) {
+    for (int j = i + 1; j < t; ++j) mask.Set(i, j, ops::kNegInf);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MaskedSoftmax(scores, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{t} * t);
+}
+BENCHMARK(BM_MaskedSoftmax)->Arg(64)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 32;
+  Rng rng(3);
+  Tensor x = RandomTensor(t, d, rng);
+  Tensor wq = RandomTensor(d, d, rng);
+  Tensor wk = RandomTensor(d, d, rng);
+  Tensor wv = RandomTensor(d, d, rng);
+  Tensor mask = Tensor::Full(t, t, 0.0f);
+  for (int i = 0; i < t; ++i) {
+    for (int j = i + 1; j < t; ++j) mask.Set(i, j, ops::kNegInf);
+  }
+  for (auto _ : state) {
+    Tensor q = ops::MatMul(x, wq);
+    Tensor k = ops::MatMul(x, wk);
+    Tensor v = ops::MatMul(x, wv);
+    Tensor weights =
+        ops::MaskedSoftmax(ops::Affine(ops::MatMulTransposeB(q, k),
+                                       0.17678f, 0.0f),
+                           mask);
+    benchmark::DoNotOptimize(ops::MatMul(weights, v));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{t});
+}
+BENCHMARK(BM_AttentionForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ForwardBackwardMlp(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Tensor x = RandomTensor(8, d, rng);
+  Tensor w1 = RandomTensor(d, d, rng, /*grad=*/true);
+  Tensor w2 = RandomTensor(d, d, rng, /*grad=*/true);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    Tensor loss =
+        ops::SumAll(ops::MatMul(ops::Relu(ops::MatMul(x, w1)), w2));
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+}
+BENCHMARK(BM_ForwardBackwardMlp)->Arg(32)->Arg(64);
+
+void BM_EmbeddingGather(benchmark::State& state) {
+  Rng rng(5);
+  Tensor table = RandomTensor(1024, 32, rng);
+  std::vector<int> indices(256);
+  for (int& id : indices) id = rng.NextInt(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::EmbeddingGather(table, indices));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EmbeddingGather);
+
+void BM_CrossEntropy(benchmark::State& state) {
+  Rng rng(6);
+  Tensor logits = RandomTensor(64, 12, rng, /*grad=*/true);
+  std::vector<int> labels(64);
+  for (int& label : labels) label = rng.NextInt(12);
+  for (auto _ : state) {
+    logits.ZeroGrad();
+    ops::CrossEntropy(logits, labels).Backward();
+    benchmark::DoNotOptimize(logits.grad().data());
+  }
+}
+BENCHMARK(BM_CrossEntropy);
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,113 @@
+// Micro benchmarks of the end-to-end pipeline pieces: episode generation,
+// one training step, evaluation, and streaming inference throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/online.h"
+#include "core/trainer.h"
+#include "data/movielens_generator.h"
+#include "data/traffic_generator.h"
+
+namespace kvec {
+namespace {
+
+TrafficGeneratorConfig SmallTraffic() {
+  TrafficGeneratorConfig config;
+  config.num_classes = 6;
+  config.concurrency = 4;
+  config.avg_flow_length = 20.0;
+  config.min_flow_length = 8;
+  return config;
+}
+
+KvecConfig ModelConfig(const DatasetSpec& spec) {
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  config.embed_dim = 16;
+  config.state_dim = 24;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 32;
+  return config;
+}
+
+void BM_TrafficEpisodeGeneration(benchmark::State& state) {
+  TrafficGenerator generator(SmallTraffic());
+  Rng rng(1);
+  int64_t items = 0;
+  for (auto _ : state) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    items += static_cast<int64_t>(episode.items.size());
+    benchmark::DoNotOptimize(episode);
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_TrafficEpisodeGeneration);
+
+void BM_MovieLensEpisodeGeneration(benchmark::State& state) {
+  MovieLensGeneratorConfig config;
+  config.concurrency = 4;
+  config.avg_sequence_length = 40.0;
+  MovieLensGenerator generator(config);
+  Rng rng(2);
+  int64_t items = 0;
+  for (auto _ : state) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    items += static_cast<int64_t>(episode.items.size());
+    benchmark::DoNotOptimize(episode);
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_MovieLensEpisodeGeneration);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  TrafficGenerator generator(SmallTraffic());
+  Rng rng(3);
+  std::vector<TangledSequence> episodes;
+  for (int e = 0; e < 8; ++e) {
+    episodes.push_back(generator.GenerateEpisode(rng));
+  }
+  KvecConfig config = ModelConfig(generator.spec());
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainEpoch(episodes));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TrainEpoch);
+
+void BM_Evaluate(benchmark::State& state) {
+  TrafficGenerator generator(SmallTraffic());
+  Rng rng(4);
+  std::vector<TangledSequence> episodes;
+  for (int e = 0; e < 8; ++e) {
+    episodes.push_back(generator.GenerateEpisode(rng));
+  }
+  KvecConfig config = ModelConfig(generator.spec());
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.Evaluate(episodes));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Evaluate);
+
+void BM_OnlineInferencePerItem(benchmark::State& state) {
+  TrafficGenerator generator(SmallTraffic());
+  Rng rng(5);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  KvecConfig config = ModelConfig(generator.spec());
+  KvecModel model(config);
+  int64_t items = 0;
+  for (auto _ : state) {
+    OnlineClassifier online(model);
+    for (const Item& item : episode.items) {
+      benchmark::DoNotOptimize(online.Observe(item));
+    }
+    items += static_cast<int64_t>(episode.items.size());
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_OnlineInferencePerItem);
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,33 @@
+// Reproduces Table II: the earliness-accuracy trade-off hyper-parameter of
+// each early-classification method, with the grid the harness sweeps.
+#include <cstdio>
+#include <sstream>
+
+#include "exp/method.h"
+#include "util/table.h"
+
+int main() {
+  using namespace kvec;
+  std::printf("=== Table II: hyper-parameters of each method ===\n");
+  Table table({"method", "hyperparameter", "sweep grid", "description"});
+  for (const MethodSpec& method : AllMethods()) {
+    std::ostringstream grid;
+    for (size_t i = 0; i < method.grid.size(); ++i) {
+      if (i > 0) grid << ", ";
+      grid << method.grid[i];
+    }
+    std::string description;
+    if (method.hyper_name == "beta" || method.hyper_name == "lambda") {
+      description = "earliness-accuracy trade off";
+    } else if (method.hyper_name == "tau") {
+      description = "halting time threshold";
+    } else {
+      description = "halting confidence threshold";
+    }
+    table.AddRow({method.name,
+                  method.name == "KVEC" ? "alpha=0.1, beta" : method.hyper_name,
+                  grid.str(), description});
+  }
+  std::fputs(table.ToText().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "baselines/baseline_model.h"
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+// The SRN encoder sees only intra-sequence (key) correlation and no
+// membership embedding; the LSTM baseline consumes raw input embeddings
+// without positional information (EARLIEST models the series with the LSTM
+// itself).
+KvecConfig RepresentationConfig(const BaselineConfig& config) {
+  KvecConfig adjusted = config.base;
+  adjusted.correlation.use_key_correlation = true;
+  adjusted.correlation.use_value_correlation = false;
+  adjusted.use_membership_embedding = false;
+  if (config.representation == RepresentationKind::kLstm) {
+    adjusted.use_time_embeddings = false;
+  }
+  return adjusted;
+}
+
+}  // namespace
+
+BaselineModel::BaselineModel(const BaselineConfig& config)
+    : config_(config),
+      init_rng_(config.base.seed),
+      state_dim_(config.representation == RepresentationKind::kLstm
+                     ? config.base.state_dim
+                     : config.base.embed_dim),
+      value_baseline_(state_dim_, config.base.baseline_hidden_dim, init_rng_),
+      classifier_(state_dim_, config.base.spec.num_classes, init_rng_) {
+  KvecConfig representation_config = RepresentationConfig(config);
+  if (config.representation == RepresentationKind::kTransformer) {
+    encoder_ =
+        std::make_unique<KvrlEncoder>(representation_config, init_rng_);
+  } else {
+    input_ = std::make_unique<InputEmbedding>(representation_config,
+                                              init_rng_);
+    fusion_ = std::make_unique<LstmFusionCell>(
+        representation_config.embed_dim, config.base.state_dim, init_rng_);
+  }
+  if (config.halting == HaltingKind::kPolicy) {
+    policy_ = std::make_unique<EctlPolicy>(state_dim_, init_rng_);
+  }
+  KVEC_CHECK_GT(state_dim_, 0);
+}
+
+void BaselineModel::CollectParameters(std::vector<Tensor>* out) {
+  if (encoder_) encoder_->CollectParameters(out);
+  if (input_) input_->CollectParameters(out);
+  if (fusion_) fusion_->CollectParameters(out);
+  if (policy_) policy_->CollectParameters(out);
+  classifier_.CollectParameters(out);
+  value_baseline_.CollectParameters(out);
+}
+
+std::vector<Tensor> BaselineModel::MainParameters() {
+  std::vector<Tensor> params;
+  if (encoder_) encoder_->CollectParameters(&params);
+  if (input_) input_->CollectParameters(&params);
+  if (fusion_) fusion_->CollectParameters(&params);
+  if (policy_) policy_->CollectParameters(&params);
+  classifier_.CollectParameters(&params);
+  return params;
+}
+
+std::vector<Tensor> BaselineModel::BaselineParameters() {
+  std::vector<Tensor> params;
+  value_baseline_.CollectParameters(&params);
+  return params;
+}
+
+}  // namespace kvec

@@ -1,0 +1,92 @@
+// Baseline early-classification methods (paper §V-A.2).
+//
+// All four baselines treat every key-value sequence independently — no
+// inter-sequence (value) correlation — and differ in the representation
+// model and the halting rule:
+//
+//   method          representation                halting rule
+//   --------------  ----------------------------  ----------------------
+//   EARLIEST        LSTM over item embeddings     learned RL policy
+//   SRN-EARLIEST    per-sequence Transformer      learned RL policy
+//   SRN-Fixed       per-sequence Transformer      fixed step τ
+//   SRN-Confidence  per-sequence Transformer      classifier confidence µ
+//
+// The per-sequence Transformer ("SRN") is realised as a KvrlEncoder whose
+// mask only contains key correlation (each item attends to earlier items of
+// its own sequence) and whose membership embedding is disabled — on a
+// tangled stream that is exactly independent per-sequence encoding.
+#ifndef KVEC_BASELINES_BASELINE_MODEL_H_
+#define KVEC_BASELINES_BASELINE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/heads.h"
+#include "nn/lstm_cell.h"
+#include "nn/module.h"
+
+namespace kvec {
+
+enum class RepresentationKind {
+  kLstm,         // EARLIEST
+  kTransformer,  // SRN-*
+};
+
+enum class HaltingKind {
+  kPolicy,      // learned RL halting policy (EARLIEST / SRN-EARLIEST)
+  kFixed,       // halt after τ observed items (SRN-Fixed)
+  kConfidence,  // halt once max softmax probability >= µ (SRN-Confidence)
+};
+
+struct BaselineConfig {
+  std::string name = "baseline";
+  RepresentationKind representation = RepresentationKind::kTransformer;
+  HaltingKind halting = HaltingKind::kPolicy;
+
+  // Dimensions / training hyper-parameters; `base.beta` doubles as the
+  // earliness-accuracy trade-off λ of (SRN-)EARLIEST.
+  KvecConfig base;
+
+  int fixed_halt_step = 5;            // τ (SRN-Fixed)
+  float confidence_threshold = 0.9f;  // µ (SRN-Confidence)
+};
+
+class BaselineModel : public Module {
+ public:
+  explicit BaselineModel(const BaselineConfig& config);
+
+  const BaselineConfig& config() const { return config_; }
+  // Width of the sequence representation consumed by the heads.
+  int state_dim() const { return state_dim_; }
+
+  // Representation machinery (used by BaselineTrainer):
+  const KvrlEncoder* encoder() const { return encoder_.get(); }
+  const InputEmbedding* input_embedding() const { return input_.get(); }
+  const LstmFusionCell* fusion() const { return fusion_.get(); }
+  const EctlPolicy& policy() const { return *policy_; }
+  const BaselineNetwork& value_baseline() const { return value_baseline_; }
+  const SequenceClassifier& classifier() const { return classifier_; }
+
+  void CollectParameters(std::vector<Tensor>* out) override;
+
+  std::vector<Tensor> MainParameters();
+  std::vector<Tensor> BaselineParameters();
+
+ private:
+  BaselineConfig config_;
+  Rng init_rng_;
+  int state_dim_;
+  std::unique_ptr<KvrlEncoder> encoder_;   // kTransformer
+  std::unique_ptr<InputEmbedding> input_;  // kLstm
+  std::unique_ptr<LstmFusionCell> fusion_;  // kLstm
+  std::unique_ptr<EctlPolicy> policy_;      // kPolicy halting only
+  BaselineNetwork value_baseline_;
+  SequenceClassifier classifier_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_BASELINES_BASELINE_MODEL_H_

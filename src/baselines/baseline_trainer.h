@@ -1,0 +1,32 @@
+// Training and evaluation loops for the baseline methods, mirroring
+// KvecTrainer but with per-method representation / halting behaviour.
+#ifndef KVEC_BASELINES_BASELINE_TRAINER_H_
+#define KVEC_BASELINES_BASELINE_TRAINER_H_
+
+#include <vector>
+
+#include "baselines/baseline_model.h"
+#include "core/trainer.h"
+#include "nn/optimizer.h"
+
+namespace kvec {
+
+class BaselineTrainer {
+ public:
+  explicit BaselineTrainer(BaselineModel* model);
+
+  TrainEpochStats TrainEpoch(const std::vector<TangledSequence>& episodes);
+  std::vector<TrainEpochStats> Train(
+      const std::vector<TangledSequence>& episodes);
+  EvaluationResult Evaluate(const std::vector<TangledSequence>& episodes);
+
+ private:
+  BaselineModel* model_;
+  Adam main_optimizer_;
+  Adam baseline_optimizer_;
+  Rng rng_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_BASELINES_BASELINE_TRAINER_H_

@@ -1,0 +1,19 @@
+#include "core/config.h"
+
+#include "util/check.h"
+
+namespace kvec {
+
+KvecConfig KvecConfig::ForSpec(const DatasetSpec& spec) {
+  KVEC_CHECK_GT(spec.num_classes, 0);
+  KVEC_CHECK_GT(spec.max_keys_per_episode, 0);
+  KVEC_CHECK_GT(spec.max_sequence_length, 0);
+  KVEC_CHECK_GT(spec.max_episode_length, 0);
+  KVEC_CHECK(!spec.value_fields.empty());
+  KvecConfig config;
+  config.spec = spec;
+  config.correlation.session_field = spec.session_field;
+  return config;
+}
+
+}  // namespace kvec

@@ -1,0 +1,80 @@
+// Configuration of the KVEC model and its training loop.
+#ifndef KVEC_CORE_CONFIG_H_
+#define KVEC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "data/types.h"
+
+namespace kvec {
+
+// Which correlations the dynamic mask matrix encodes. The ablation study
+// (Fig. 9) toggles these.
+struct CorrelationOptions {
+  bool use_key_correlation = true;
+  bool use_value_correlation = true;
+  // "Uninterrupted in time" for cross-key session matching: an open session
+  // is joinable only if its most recent item is at most this many stream
+  // positions in the past.
+  int value_correlation_window = 64;
+  int session_field = 0;  // copied from the DatasetSpec
+
+  // Selective value correlation (the extension the paper's §V-E RQ3
+  // discussion calls for): cap the number of cross-key value-correlated
+  // items visible to any one item. 0 = unlimited (the paper's behaviour).
+  // When positive, only the most *recent* `max_value_correlations` matches
+  // stay visible — recency is the cheapest relevance proxy in a stream and
+  // bounds the inter-sequence noise that grows with concurrency K
+  // (Fig. 12); see the ext_selective_corr bench.
+  int max_value_correlations = 0;
+};
+
+struct KvecConfig {
+  // ---- Model dimensions (paper defaults are d=128/64, 6/2 blocks; we scale
+  // down for single-core CPU training, see DESIGN.md §1). ----
+  int embed_dim = 32;    // d: item embedding width
+  int state_dim = 48;    // LSTM fusion cell width (paper: 256)
+  int num_blocks = 2;    // stacked attention blocks
+  int num_heads = 1;     // attention heads (1 = the paper's operator)
+  int ffn_hidden_dim = 64;
+  float dropout = 0.1f;
+  int baseline_hidden_dim = 32;
+
+  // ---- Vocabulary sizes (filled from the DatasetSpec). ----
+  DatasetSpec spec;
+
+  // ---- Input-embedding ablations (Fig. 9). ----
+  bool use_membership_embedding = true;
+  bool use_time_embeddings = true;  // relative position + time embedding
+
+  CorrelationOptions correlation;
+
+  // Embedding fusion (§IV-B): the paper's gated LSTM-style cell, or the
+  // parameter-free alternatives it argues against — ablatable via the
+  // ext_fusion bench.
+  enum class FusionKind { kLstm, kSum, kMean, kLast };
+  FusionKind fusion = FusionKind::kLstm;
+
+  // ---- Training (§IV-E). ----
+  float alpha = 0.1f;  // weight of the REINFORCE surrogate l2
+  float beta = 1e-3f;  // weight of the earliness pressure l3 (may be < 0)
+  float learning_rate = 1e-3f;
+  float baseline_learning_rate = 1e-3f;
+  int epochs = 15;
+  float grad_clip = 5.0f;
+  uint64_t seed = 42;
+
+  // Learning-rate schedule applied per epoch to the main optimizer (the
+  // paper trains at a fixed rate; kConstant reproduces that).
+  enum class LrSchedule { kConstant, kCosine, kWarmupCosine };
+  LrSchedule lr_schedule = LrSchedule::kConstant;
+  int warmup_epochs = 2;          // used by kWarmupCosine
+  float min_learning_rate = 0.0f;  // annealing floor
+
+  // Builds a config sized for `spec` with the defaults above.
+  static KvecConfig ForSpec(const DatasetSpec& spec);
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_CONFIG_H_

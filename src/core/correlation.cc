@@ -1,0 +1,85 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+CorrelationTracker::CorrelationTracker(const CorrelationOptions& options)
+    : options_(options) {
+  KVEC_CHECK_GE(options_.session_field, 0);
+  KVEC_CHECK_GT(options_.value_correlation_window, 0);
+}
+
+std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
+  const int index = next_index_++;
+  KVEC_CHECK_LT(options_.session_field,
+                static_cast<int>(item.value.size()));
+  const int session_value = item.value[options_.session_field];
+
+  std::vector<int> visible;
+
+  if (options_.use_key_correlation) {
+    auto it = key_items_.find(item.key);
+    if (it != key_items_.end()) {
+      visible.insert(visible.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  if (options_.use_value_correlation) {
+    std::vector<int> cross;  // value-correlated items of *other* keys
+    for (const auto& [key, session] : open_sessions_) {
+      if (key == item.key) continue;  // same key is key correlation
+      if (session.session_value != session_value) continue;
+      if (index - session.last_index > options_.value_correlation_window) {
+        continue;  // interrupted in time
+      }
+      cross.insert(cross.end(), session.item_indices.begin(),
+                   session.item_indices.end());
+    }
+    if (options_.max_value_correlations > 0 &&
+        static_cast<int>(cross.size()) > options_.max_value_correlations) {
+      // Keep only the most recent matches (largest stream positions).
+      std::sort(cross.begin(), cross.end());
+      cross.erase(cross.begin(),
+                  cross.end() - options_.max_value_correlations);
+    }
+    visible.insert(visible.end(), cross.begin(), cross.end());
+  }
+
+  // Update this key's open session *after* computing visibility so an item
+  // never reports itself.
+  key_items_[item.key].push_back(index);
+  OpenSession& session = open_sessions_[item.key];
+  if (session.item_indices.empty() || session.session_value != session_value) {
+    session.session_value = session_value;
+    session.item_indices.clear();
+  }
+  session.item_indices.push_back(index);
+  session.last_index = index;
+
+  return visible;
+}
+
+EpisodeMask BuildEpisodeMask(const TangledSequence& episode,
+                             const CorrelationOptions& options) {
+  const int total = static_cast<int>(episode.items.size());
+  KVEC_CHECK_GT(total, 0);
+  EpisodeMask result;
+  result.mask = Tensor::Full(total, total, ops::kNegInf);
+  result.visible.resize(total);
+  CorrelationTracker tracker(options);
+  for (int i = 0; i < total; ++i) {
+    result.visible[i] = tracker.ObserveItem(episode.items[i]);
+    result.mask.Set(i, i, 0.0f);  // M_ii = 0
+    for (int j : result.visible[i]) {
+      KVEC_DCHECK(j < i);
+      result.mask.Set(i, j, 0.0f);
+    }
+  }
+  return result;
+}
+
+}  // namespace kvec

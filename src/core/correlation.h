@@ -1,0 +1,69 @@
+// Item-correlation tracking and the dynamic mask matrix M(t) (paper §IV-B).
+//
+// Two items of a tangled sequence are correlated when
+//   * key correlation:   e.k == e'.k, or
+//   * value correlation: there is a key k such that ⟨k, e.v⟩ and ⟨k, e'.v⟩
+//     would fall in the same *session* of S_k (a maximal, uninterrupted run
+//     of items agreeing on the session field).
+//
+// `CorrelationTracker` implements the streaming interpretation: when item i
+// arrives it is correlated (a) with all earlier items of its own key and
+// (b) with the items of any key's currently *open* session whose session-
+// field value matches item i's and whose last item arrived at most
+// `value_correlation_window` stream positions ago ("uninterrupted in time").
+//
+// The same tracker drives both the batch mask builder used in training and
+// the online inference engine, so the two cannot drift apart.
+#ifndef KVEC_CORE_CORRELATION_H_
+#define KVEC_CORE_CORRELATION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/config.h"
+#include "data/types.h"
+#include "tensor/tensor.h"
+
+namespace kvec {
+
+class CorrelationTracker {
+ public:
+  explicit CorrelationTracker(const CorrelationOptions& options);
+
+  // Registers the next stream item and returns the indices of *earlier*
+  // items visible to it (its own index is always implicitly visible).
+  // Indices are global stream positions, strictly increasing calls.
+  std::vector<int> ObserveItem(const Item& item);
+
+  int num_observed() const { return next_index_; }
+
+ private:
+  struct OpenSession {
+    int session_value = -1;
+    std::vector<int> item_indices;  // members of the open session
+    int last_index = -1;
+  };
+
+  CorrelationOptions options_;
+  int next_index_ = 0;
+  std::map<int, std::vector<int>> key_items_;  // key -> item indices
+  std::map<int, OpenSession> open_sessions_;   // key -> current session
+};
+
+// The dynamic mask matrix over a whole episode.
+struct EpisodeMask {
+  // [T,T] tensor with 0 where item j is visible to item i (j <= i) and
+  // ops::kNegInf elsewhere; constant (no gradient).
+  Tensor mask;
+  // For attention instrumentation (Fig. 10): visible[i] lists the stream
+  // positions j < i visible to i.
+  std::vector<std::vector<int>> visible;
+};
+
+// Builds M(T) for `episode` under `options`.
+EpisodeMask BuildEpisodeMask(const TangledSequence& episode,
+                             const CorrelationOptions& options);
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_CORRELATION_H_

@@ -1,0 +1,163 @@
+#include "core/encoder.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+KvrlEncoder::KvrlEncoder(const KvecConfig& config, Rng& rng)
+    : config_(config), input_(config, rng) {
+  KVEC_CHECK_GT(config.num_blocks, 0);
+  blocks_.reserve(config.num_blocks);
+  for (int i = 0; i < config.num_blocks; ++i) {
+    blocks_.emplace_back(config.embed_dim, config.ffn_hidden_dim,
+                         config.dropout, rng, config.num_heads);
+  }
+}
+
+EncodeResult KvrlEncoder::Forward(const TangledSequence& episode,
+                                  const EpisodeIndex& index, Rng& rng,
+                                  bool training) const {
+  EncodeResult result;
+  result.mask = BuildEpisodeMask(episode, config_.correlation);
+  Tensor h = input_.Forward(episode, index);
+  result.attention_weights.reserve(blocks_.size());
+  for (const AttentionBlock& block : blocks_) {
+    AttentionResult block_result =
+        block.Forward(h, result.mask.mask, rng, training);
+    h = block_result.output;
+    result.attention_weights.push_back(block_result.weights);
+  }
+  result.embeddings = h;
+  return result;
+}
+
+void KvrlEncoder::CollectParameters(std::vector<Tensor>* out) {
+  input_.CollectParameters(out);
+  for (AttentionBlock& block : blocks_) block.CollectParameters(out);
+}
+
+IncrementalEncoder::IncrementalEncoder(const KvrlEncoder& encoder)
+    : encoder_(encoder),
+      dim_(encoder.config().embed_dim),
+      caches_(encoder.blocks().size()) {}
+
+void IncrementalEncoder::LinearRow(const std::vector<float>& x,
+                                   const Tensor& weight, const Tensor& bias,
+                                   std::vector<float>* y) {
+  const int in = weight.rows(), out = weight.cols();
+  KVEC_DCHECK(static_cast<int>(x.size()) == in);
+  y->assign(out, 0.0f);
+  const float* w = weight.data().data();
+  for (int i = 0; i < in; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* w_row = w + static_cast<size_t>(i) * out;
+    for (int j = 0; j < out; ++j) (*y)[j] += xi * w_row[j];
+  }
+  if (bias.defined()) {
+    for (int j = 0; j < out; ++j) (*y)[j] += bias.data()[j];
+  }
+}
+
+void IncrementalEncoder::LayerNormRow(const Tensor& gamma, const Tensor& beta,
+                                      std::vector<float>* x) {
+  const int n = static_cast<int>(x->size());
+  float mean = 0.0f;
+  for (float v : *x) mean += v;
+  mean /= static_cast<float>(n);
+  float var = 0.0f;
+  for (float v : *x) var += (v - mean) * (v - mean);
+  var /= static_cast<float>(n);
+  const float inv_std = 1.0f / std::sqrt(var + 1e-5f);
+  for (int i = 0; i < n; ++i) {
+    (*x)[i] = gamma.data()[i] * ((*x)[i] - mean) * inv_std + beta.data()[i];
+  }
+}
+
+std::vector<float> IncrementalEncoder::AppendItem(
+    const Item& item, int position_in_key, const std::vector<int>& visible) {
+  const KvecConfig& config = encoder_.config();
+  const int t = num_items_++;
+
+  // ---- Input embedding row: sum of the four embedding families. This
+  // mirrors InputEmbedding::Forward for a single item; the batch-vs-
+  // incremental equivalence test keeps the two in sync. ----
+  std::vector<float> x(dim_, 0.0f);
+  encoder_.input_embedding().AccumulateItemRow(item, position_in_key, t, &x);
+
+  // ---- Attention blocks. ----
+  std::vector<float> q(dim_), k(dim_), v(dim_);
+  std::vector<float> attended(dim_), h(dim_), f(dim_), hidden;
+  for (size_t b = 0; b < encoder_.blocks().size(); ++b) {
+    const AttentionBlock& block = encoder_.blocks()[b];
+    BlockCache& cache = caches_[b];
+
+    const MaskedSelfAttention& attention = block.attention();
+    LinearRow(x, attention.query().weight(), Tensor(), &q);
+    LinearRow(x, attention.key().weight(), Tensor(), &k);
+    LinearRow(x, attention.value().weight(), Tensor(), &v);
+    cache.keys.insert(cache.keys.end(), k.begin(), k.end());
+    cache.values.insert(cache.values.end(), v.begin(), v.end());
+
+    // Scores over the visible set plus self, independently per head (the
+    // heads read disjoint column slices of q/k/v).
+    std::vector<int> targets = visible;
+    targets.push_back(t);
+    const int num_heads = attention.num_heads();
+    const int head_dim = attention.head_dim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+    attended.assign(dim_, 0.0f);
+    std::vector<float> scores(targets.size());
+    for (int head = 0; head < num_heads; ++head) {
+      const int begin = head * head_dim;
+      float max_score = -1e30f;
+      for (size_t s = 0; s < targets.size(); ++s) {
+        const float* kj =
+            cache.keys.data() + static_cast<size_t>(targets[s]) * dim_ + begin;
+        float dot = 0.0f;
+        for (int c = 0; c < head_dim; ++c) dot += q[begin + c] * kj[c];
+        scores[s] = dot * scale;
+        max_score = std::max(max_score, scores[s]);
+      }
+      float total = 0.0f;
+      for (float& s : scores) {
+        s = std::exp(s - max_score);
+        total += s;
+      }
+      for (size_t s = 0; s < targets.size(); ++s) {
+        const float w = scores[s] / total;
+        const float* vj = cache.values.data() +
+                          static_cast<size_t>(targets[s]) * dim_ + begin;
+        for (int c = 0; c < head_dim; ++c) attended[begin + c] += w * vj[c];
+      }
+    }
+    if (attention.output_projection() != nullptr) {
+      std::vector<float> mixed;
+      LinearRow(attended, attention.output_projection()->weight(), Tensor(),
+                &mixed);
+      attended = mixed;
+    }
+
+    // Residual + LN, FFN, residual + LN (no dropout at inference).
+    h = x;
+    for (int c = 0; c < dim_; ++c) h[c] += attended[c];
+    LayerNormRow(block.norm_attention().gamma(), block.norm_attention().beta(),
+                 &h);
+    LinearRow(h, block.ffn().first().weight(), block.ffn().first().bias(),
+              &hidden);
+    for (float& value : hidden) value = value > 0.0f ? value : 0.0f;
+    LinearRow(hidden, block.ffn().second().weight(),
+              block.ffn().second().bias(), &f);
+    for (int c = 0; c < dim_; ++c) f[c] += h[c];
+    LayerNormRow(block.norm_ffn().gamma(), block.norm_ffn().beta(), &f);
+
+    cache.outputs.insert(cache.outputs.end(), f.begin(), f.end());
+    x = f;
+  }
+  return x;
+}
+
+}  // namespace kvec

@@ -1,0 +1,88 @@
+// The KVRL encoder (paper §IV-B): input embedding followed by stacked
+// correlation-masked attention blocks, producing the per-item embeddings
+// E(t)_e that the fusion cell consumes.
+//
+// Because the dynamic mask matrix is causal (item i only attends to j ≤ i),
+// encoding a whole episode once is equivalent to re-encoding after every
+// arrival; see DESIGN.md §4.1. `IncrementalEncoder` exploits this at
+// inference time: it appends one row per arriving item in O(t·d) instead of
+// recomputing the full O(t²·d) pass, and is verified to match the batch
+// encoder bit-for-bit-ish (1e-4) in tests.
+#ifndef KVEC_CORE_ENCODER_H_
+#define KVEC_CORE_ENCODER_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/correlation.h"
+#include "core/input_embedding.h"
+#include "nn/attention.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace kvec {
+
+struct EncodeResult {
+  Tensor embeddings;                      // E(T): [T, d]
+  std::vector<Tensor> attention_weights;  // one [T,T] per block
+  EpisodeMask mask;
+};
+
+class KvrlEncoder : public Module {
+ public:
+  KvrlEncoder(const KvecConfig& config, Rng& rng);
+
+  EncodeResult Forward(const TangledSequence& episode,
+                       const EpisodeIndex& index, Rng& rng,
+                       bool training) const;
+
+  void CollectParameters(std::vector<Tensor>* out) override;
+
+  const InputEmbedding& input_embedding() const { return input_; }
+  const std::vector<AttentionBlock>& blocks() const { return blocks_; }
+  const KvecConfig& config() const { return config_; }
+
+ private:
+  KvecConfig config_;
+  InputEmbedding input_;
+  std::vector<AttentionBlock> blocks_;
+};
+
+// Streaming forward pass over a frozen KvrlEncoder. No gradients, no
+// dropout; caches per-block keys/values/outputs and computes only the new
+// row for each arriving item.
+class IncrementalEncoder {
+ public:
+  explicit IncrementalEncoder(const KvrlEncoder& encoder);
+
+  // Appends the next stream item. `position_in_key` is its 0-based index
+  // within its key sequence; `visible` lists the earlier stream positions
+  // it may attend to (from CorrelationTracker::ObserveItem). Returns the
+  // final-block embedding row E(t)_e (length d).
+  std::vector<float> AppendItem(const Item& item, int position_in_key,
+                                const std::vector<int>& visible);
+
+  int num_items() const { return num_items_; }
+
+ private:
+  struct BlockCache {
+    std::vector<float> keys;     // [t, d] flattened
+    std::vector<float> values;   // [t, d] flattened
+    std::vector<float> outputs;  // [t, d] flattened block outputs
+  };
+
+  // y = x W (+ b); row vector times weight matrix.
+  static void LinearRow(const std::vector<float>& x, const Tensor& weight,
+                        const Tensor& bias, std::vector<float>* y);
+  static void LayerNormRow(const Tensor& gamma, const Tensor& beta,
+                           std::vector<float>* x);
+
+  const KvrlEncoder& encoder_;
+  int dim_;
+  int num_items_ = 0;
+  std::vector<BlockCache> caches_;  // one per block
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_ENCODER_H_

@@ -1,0 +1,58 @@
+#include "core/heads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+EctlPolicy::EctlPolicy(int state_dim, Rng& rng)
+    : linear_(state_dim, 1, rng) {}
+
+Tensor EctlPolicy::HaltProbability(const Tensor& state) const {
+  return ops::Sigmoid(linear_.Forward(state));
+}
+
+void EctlPolicy::CollectParameters(std::vector<Tensor>* out) {
+  linear_.CollectParameters(out);
+}
+
+BaselineNetwork::BaselineNetwork(int state_dim, int hidden_dim, Rng& rng)
+    : mlp_({state_dim, hidden_dim, 1}, rng) {}
+
+Tensor BaselineNetwork::Forward(const Tensor& state) const {
+  return mlp_.Forward(state);
+}
+
+void BaselineNetwork::CollectParameters(std::vector<Tensor>* out) {
+  mlp_.CollectParameters(out);
+}
+
+SequenceClassifier::SequenceClassifier(int state_dim, int num_classes,
+                                       Rng& rng)
+    : linear_(state_dim, num_classes, rng) {}
+
+Tensor SequenceClassifier::Logits(const Tensor& state) const {
+  return linear_.Forward(state);
+}
+
+void SequenceClassifier::CollectParameters(std::vector<Tensor>* out) {
+  linear_.CollectParameters(out);
+}
+
+double MaxSoftmaxProbability(const Tensor& logits) {
+  KVEC_CHECK_EQ(logits.rows(), 1);
+  double max_logit = -1e30;
+  for (float v : logits.data()) max_logit = std::max<double>(max_logit, v);
+  double total = 0.0, best = 0.0;
+  for (float v : logits.data()) {
+    const double e = std::exp(v - max_logit);
+    total += e;
+    best = std::max(best, e);
+  }
+  return best / total;
+}
+
+}  // namespace kvec

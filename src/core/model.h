@@ -1,0 +1,53 @@
+// The complete KVEC model (paper Fig. 2): KVRL encoder + LSTM fusion cell +
+// ECTL halting policy + baseline + classifier.
+#ifndef KVEC_CORE_MODEL_H_
+#define KVEC_CORE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/fusion.h"
+#include "core/heads.h"
+#include "nn/module.h"
+
+namespace kvec {
+
+class KvecModel : public Module {
+ public:
+  explicit KvecModel(const KvecConfig& config);
+
+  const KvecConfig& config() const { return config_; }
+
+  const KvrlEncoder& encoder() const { return encoder_; }
+  const EmbeddingFusion& fusion() const { return fusion_; }
+  const EctlPolicy& policy() const { return policy_; }
+  const BaselineNetwork& baseline() const { return baseline_; }
+  const SequenceClassifier& classifier() const { return classifier_; }
+
+  // All parameters (θ and θ_b); used by checkpointing.
+  void CollectParameters(std::vector<Tensor>* out) override;
+
+  // θ  — encoder + fusion + policy + classifier (Algorithm 1, line 18).
+  std::vector<Tensor> MainParameters();
+  // θ_b — the baseline network only (Algorithm 1, line 19).
+  std::vector<Tensor> BaselineParameters();
+
+  // Checkpointing convenience; returns false on failure.
+  bool SaveToFile(const std::string& path);
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  KvecConfig config_;
+  Rng init_rng_;
+  KvrlEncoder encoder_;
+  EmbeddingFusion fusion_;
+  EctlPolicy policy_;
+  BaselineNetwork baseline_;
+  SequenceClassifier classifier_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_MODEL_H_

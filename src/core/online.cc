@@ -1,0 +1,85 @@
+#include "core/online.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+OnlineClassifier::OnlineClassifier(const KvecModel& model)
+    : model_(model),
+      incremental_(model.encoder()),
+      tracker_(model.config().correlation) {}
+
+OnlineDecision OnlineClassifier::Observe(const Item& item) {
+  OnlineDecision decision;
+  decision.key = item.key;
+
+  // The tracker must see every stream item — even those of halted keys —
+  // so the visibility sets of live keys stay identical to training.
+  std::vector<int> visible = tracker_.ObserveItem(item);
+  KeyState& key_state = keys_[item.key];
+  const int position_in_key = key_state.position_in_key++;
+  std::vector<float> embedding_row =
+      incremental_.AppendItem(item, position_in_key, visible);
+  ++num_items_;
+
+  if (key_state.halted) {
+    decision.already_halted = true;
+    decision.predicted_label = key_state.predicted;
+    decision.observed_items = key_state.observed;
+    return decision;
+  }
+  if (!key_state.state.defined()) {
+    key_state.state = model_.fusion().InitialState();
+  }
+
+  const int embed_dim = static_cast<int>(embedding_row.size());
+  Tensor embedding = Tensor::FromData(1, embed_dim, std::move(embedding_row));
+  key_state.state = model_.fusion().Step(key_state.state, embedding);
+  // No gradients at inference: cut the graph so state does not accumulate.
+  key_state.state.DetachInPlace();
+  ++key_state.observed;
+
+  Tensor halt_prob = model_.policy().HaltProbability(key_state.state.hidden);
+  decision.halt_probability = halt_prob.ScalarValue();
+  decision.observed_items = key_state.observed;
+  if (decision.halt_probability > 0.5) {
+    Tensor logits = model_.classifier().Logits(key_state.state.hidden);
+    key_state.predicted = ops::ArgMaxRow(logits, 0);
+    key_state.halted = true;
+    decision.halted_now = true;
+    decision.predicted_label = key_state.predicted;
+    decision.confidence = MaxSoftmaxProbability(logits);
+  }
+  return decision;
+}
+
+int OnlineClassifier::ForceClassify(int key, double* confidence) {
+  auto it = keys_.find(key);
+  if (it == keys_.end() || it->second.observed == 0) {
+    if (confidence != nullptr) *confidence = 0.0;
+    return -1;
+  }
+  KeyState& key_state = it->second;
+  if (!key_state.halted || confidence != nullptr) {
+    Tensor logits = model_.classifier().Logits(key_state.state.hidden);
+    if (!key_state.halted) {
+      key_state.predicted = ops::ArgMaxRow(logits, 0);
+      key_state.halted = true;
+    }
+    if (confidence != nullptr) *confidence = MaxSoftmaxProbability(logits);
+  }
+  return key_state.predicted;
+}
+
+int OnlineClassifier::ObservedItems(int key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.observed;
+}
+
+bool OnlineClassifier::IsHalted(int key) const {
+  auto it = keys_.find(key);
+  return it != keys_.end() && it->second.halted;
+}
+
+}  // namespace kvec

@@ -1,0 +1,73 @@
+// Streaming inference engine: classify key-value sequences of a live
+// tangled stream, one item at a time.
+//
+// This is the deployment-shaped API of the library (e.g., a router deciding
+// per-flow application types as packets arrive). It combines
+//  * a CorrelationTracker (streaming visibility sets),
+//  * an IncrementalEncoder (O(t·d) per item instead of re-encoding), and
+//  * the frozen fusion / policy / classifier heads of a trained KvecModel.
+// Matches KvecTrainer::Evaluate's deterministic halting (Halt iff
+// π(s) > 0.5); equivalence is covered by integration tests.
+#ifndef KVEC_CORE_ONLINE_H_
+#define KVEC_CORE_ONLINE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/correlation.h"
+#include "core/encoder.h"
+#include "core/model.h"
+
+namespace kvec {
+
+// The engine's verdict on one observed item.
+struct OnlineDecision {
+  int key = 0;
+  bool halted_now = false;       // this item triggered the halt of its key
+  bool already_halted = false;   // key was halted earlier; item ignored
+  int predicted_label = -1;      // valid once halted
+  double halt_probability = 0.0;
+  double confidence = 0.0;  // classifier max-softmax, set on halt
+  int observed_items = 0;   // n_k so far
+};
+
+class OnlineClassifier {
+ public:
+  // `model` must outlive the classifier and should be trained; the engine
+  // never updates parameters.
+  explicit OnlineClassifier(const KvecModel& model);
+
+  // Feeds the next item of the tangled stream (chronological order).
+  OnlineDecision Observe(const Item& item);
+
+  // Forces classification of a still-open key from its current state
+  // (e.g., when the flow terminates). Returns -1 if the key was never seen.
+  // When `confidence` is non-null it receives the classifier's max-softmax
+  // probability (0 if the key was never seen).
+  int ForceClassify(int key, double* confidence = nullptr);
+
+  // Observed-item count of a key (0 if never seen).
+  int ObservedItems(int key) const;
+
+  bool IsHalted(int key) const;
+  int num_items_observed() const { return num_items_; }
+
+ private:
+  struct KeyState {
+    FusionState state;
+    bool halted = false;
+    int observed = 0;
+    int position_in_key = 0;
+    int predicted = -1;
+  };
+
+  const KvecModel& model_;
+  IncrementalEncoder incremental_;
+  CorrelationTracker tracker_;
+  std::map<int, KeyState> keys_;
+  int num_items_ = 0;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_ONLINE_H_

@@ -1,0 +1,134 @@
+#include "core/stream_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace kvec {
+
+StreamServer::StreamServer(const KvecModel& model,
+                           const StreamServerConfig& config)
+    : model_(model),
+      config_(config),
+      engine_(std::make_unique<OnlineClassifier>(model)) {
+  KVEC_CHECK_GT(config_.max_window_items, 0);
+  KVEC_CHECK_GT(config_.idle_timeout, 0);
+  KVEC_CHECK_GT(config_.idle_check_interval, 0);
+  KVEC_CHECK_GT(config_.max_open_keys, 0);
+  stats_.class_counts.assign(model.config().spec.num_classes, 0);
+}
+
+void StreamServer::RecordEvent(const StreamEvent& event) {
+  ++stats_.sequences_classified;
+  if (event.predicted_label >= 0 &&
+      event.predicted_label < static_cast<int>(stats_.class_counts.size())) {
+    ++stats_.class_counts[event.predicted_label];
+  }
+  switch (event.cause) {
+    case StreamEvent::Cause::kPolicyHalt:
+      ++stats_.policy_halts;
+      break;
+    case StreamEvent::Cause::kIdleTimeout:
+      ++stats_.idle_timeouts;
+      break;
+    case StreamEvent::Cause::kCapacityEviction:
+      ++stats_.capacity_evictions;
+      break;
+    case StreamEvent::Cause::kWindowRotation:
+      ++stats_.rotation_classifications;
+      break;
+    case StreamEvent::Cause::kFlush:
+      break;
+  }
+}
+
+void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
+                              std::vector<StreamEvent>* events) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  StreamEvent event;
+  event.key = key;
+  event.cause = cause;
+  event.observed_items = engine_->ObservedItems(key);
+  event.predicted_label = engine_->ForceClassify(key, &event.confidence);
+  open_.erase(it);
+  RecordEvent(event);
+  events->push_back(event);
+}
+
+void StreamServer::RotateWindow(std::vector<StreamEvent>* events) {
+  // Close everything still open under the old engine, then rebuild it.
+  std::vector<int> keys;
+  keys.reserve(open_.size());
+  for (const auto& [key, state] : open_) keys.push_back(key);
+  for (int key : keys) {
+    ForceClose(key, StreamEvent::Cause::kWindowRotation, events);
+  }
+  engine_ = std::make_unique<OnlineClassifier>(model_);
+  window_items_ = 0;
+  ++stats_.windows_started;
+}
+
+void StreamServer::EvictIdle(std::vector<StreamEvent>* events) {
+  std::vector<int> idle;
+  for (const auto& [key, state] : open_) {
+    if (position_ - state.last_seen > config_.idle_timeout) {
+      idle.push_back(key);
+    }
+  }
+  for (int key : idle) {
+    ForceClose(key, StreamEvent::Cause::kIdleTimeout, events);
+  }
+}
+
+std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
+  std::vector<StreamEvent> events;
+  if (window_items_ >= config_.max_window_items) RotateWindow(&events);
+
+  OnlineDecision decision = engine_->Observe(item);
+  ++position_;
+  ++window_items_;
+  ++stats_.items_processed;
+
+  if (decision.already_halted) {
+    // The engine still tracks the item (its visibility matters for other
+    // keys), but the key's verdict was already emitted.
+    return events;
+  }
+  if (decision.halted_now) {
+    open_.erase(item.key);
+    StreamEvent event;
+    event.key = item.key;
+    event.predicted_label = decision.predicted_label;
+    event.observed_items = decision.observed_items;
+    event.confidence = decision.confidence;
+    event.cause = StreamEvent::Cause::kPolicyHalt;
+    RecordEvent(event);
+    events.push_back(event);
+  } else {
+    open_[item.key].last_seen = position_;
+    if (static_cast<int>(open_.size()) > config_.max_open_keys) {
+      // Evict the least recently active key.
+      auto lru = std::min_element(open_.begin(), open_.end(),
+                                  [](const auto& a, const auto& b) {
+                                    return a.second.last_seen <
+                                           b.second.last_seen;
+                                  });
+      ForceClose(lru->first, StreamEvent::Cause::kCapacityEviction, &events);
+    }
+  }
+
+  if (position_ % config_.idle_check_interval == 0) EvictIdle(&events);
+  return events;
+}
+
+std::vector<StreamEvent> StreamServer::Flush() {
+  std::vector<StreamEvent> events;
+  std::vector<int> keys;
+  keys.reserve(open_.size());
+  for (const auto& [key, state] : open_) keys.push_back(key);
+  for (int key : keys) ForceClose(key, StreamEvent::Cause::kFlush, &events);
+  return events;
+}
+
+}  // namespace kvec

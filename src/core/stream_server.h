@@ -1,0 +1,113 @@
+// Bounded-memory stream serving on top of OnlineClassifier.
+//
+// OnlineClassifier is exact but unbounded: its incremental-encoder caches
+// grow with every stream item and its per-key states are never evicted. A
+// long-running deployment (a router classifying flows for days) needs
+// bounds. StreamServer adds three:
+//
+//   * window rotation — after `max_window_items` items the whole engine is
+//     rebuilt, discarding the encoder caches. Keys still open are
+//     force-classified first. Cross-window value correlations are lost;
+//     that is the price of O(window) memory and it is measured by the
+//     stream-server tests (the window should comfortably exceed the
+//     value-correlation window, after which nothing is lost).
+//   * idle timeout — a key that has not produced an item for
+//     `idle_timeout` stream positions is force-classified and evicted
+//     (flow ended without a FIN, user went away).
+//   * capacity eviction — when more than `max_open_keys` keys are open,
+//     the least recently active one is force-classified.
+//
+// Every classification (policy halt or forced) is emitted as a
+// StreamEvent, with the cause recorded, so downstream consumers see one
+// verdict per key-value sequence.
+#ifndef KVEC_CORE_STREAM_SERVER_H_
+#define KVEC_CORE_STREAM_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/online.h"
+
+namespace kvec {
+
+struct StreamServerConfig {
+  // Engine rebuild period, in stream items. Should be much larger than the
+  // model's value-correlation window so rotations rarely cut correlations.
+  int max_window_items = 4096;
+  // Evict a key after this many stream positions without a new item.
+  int idle_timeout = 512;
+  // Idle keys are scanned every `idle_check_interval` items (a full scan
+  // per item would be O(open keys) each).
+  int idle_check_interval = 32;
+  // Maximum concurrently open keys before LRU eviction.
+  int max_open_keys = 1024;
+};
+
+struct StreamEvent {
+  enum class Cause {
+    kPolicyHalt,         // the ECTL policy halted the key
+    kIdleTimeout,        // evicted after idle_timeout
+    kCapacityEviction,   // evicted to respect max_open_keys
+    kWindowRotation,     // force-classified at an engine rebuild
+    kFlush,              // force-classified by Flush()
+  };
+
+  int key = 0;
+  int predicted_label = -1;
+  int observed_items = 0;
+  double confidence = 0.0;
+  Cause cause = Cause::kPolicyHalt;
+};
+
+struct StreamServerStats {
+  int64_t items_processed = 0;
+  int64_t sequences_classified = 0;
+  int64_t policy_halts = 0;
+  int64_t idle_timeouts = 0;
+  int64_t capacity_evictions = 0;
+  int64_t rotation_classifications = 0;
+  int windows_started = 1;
+  std::vector<int64_t> class_counts;  // predictions per class
+};
+
+class StreamServer {
+ public:
+  // `model` must be trained and outlive the server.
+  StreamServer(const KvecModel& model, const StreamServerConfig& config);
+
+  // Feeds the next stream item; returns every classification event it
+  // triggered (the item's own policy halt, plus any evictions/rotation).
+  std::vector<StreamEvent> Observe(const Item& item);
+
+  // Force-classifies all still-open keys (end of stream).
+  std::vector<StreamEvent> Flush();
+
+  const StreamServerStats& stats() const { return stats_; }
+  int open_keys() const { return static_cast<int>(open_.size()); }
+
+ private:
+  struct OpenKey {
+    int64_t last_seen = 0;  // global stream position of the latest item
+  };
+
+  // Emits a forced classification for `key` and drops it from the open set.
+  void ForceClose(int key, StreamEvent::Cause cause,
+                  std::vector<StreamEvent>* events);
+  void RotateWindow(std::vector<StreamEvent>* events);
+  void EvictIdle(std::vector<StreamEvent>* events);
+  void RecordEvent(const StreamEvent& event);
+
+  const KvecModel& model_;
+  StreamServerConfig config_;
+  std::unique_ptr<OnlineClassifier> engine_;
+  std::map<int, OpenKey> open_;  // keys fed to the engine, not yet closed
+  int64_t position_ = 0;         // global items processed
+  int window_items_ = 0;         // items in the current engine window
+  StreamServerStats stats_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_STREAM_SERVER_H_

@@ -1,0 +1,101 @@
+// Joint training of KVEC (paper §IV-E, Algorithm 1) and evaluation.
+//
+// Training: for every tangled sequence, generate an episode by streaming
+// its items through the encoder + fusion cell while sampling Halt/Wait from
+// the policy; assign ±1 rewards from the classifier's correctness; then
+// minimise
+//     l = l1 + α·l2 + β·l3
+// where l1 is the classification cross-entropy, l2 the REINFORCE-with-
+// baseline surrogate, and l3 the earliness pressure -Σ log P(Halt). θ (the
+// encoder, fusion, policy and classifier) and θ_b (the baseline network)
+// are updated by separate Adam optimizers, with θ_b regressed onto the
+// observed cumulative rewards by MSE.
+//
+// Evaluation: deterministic halting (Halt iff π(s) > 0.5, forced at the end
+// of a sequence); produces PredictionRecords plus optional instrumentation
+// (internal/external attention scores for Fig. 10, halting positions for
+// Fig. 11).
+#ifndef KVEC_CORE_TRAINER_H_
+#define KVEC_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+
+namespace kvec {
+
+struct TrainEpochStats {
+  double total_loss = 0.0;
+  double classification_loss = 0.0;  // l1 (per-sequence mean)
+  double policy_loss = 0.0;          // l2
+  double earliness_loss = 0.0;       // l3
+  double baseline_loss = 0.0;
+  double train_accuracy = 0.0;
+  double train_earliness = 0.0;
+  int episodes = 0;
+};
+
+struct EvalOptions {
+  bool collect_attention = false;
+};
+
+// Internal vs external attention mass of one halted sequence (Fig. 10):
+// internal = attention weight put on same-key items, external = weight on
+// items of other keys (reachable through value correlation).
+struct AttentionPoint {
+  double earliness = 0.0;
+  double internal_score = 0.0;
+  double external_score = 0.0;
+};
+
+// Where a sequence was halted (Fig. 11).
+struct HaltingRecord {
+  int key = 0;
+  int halt_position = 0;     // n_k (1-based count of observed items)
+  int sequence_length = 0;   // |S_k|
+  int true_halt_position = 0;  // 0 when the dataset has no ground truth
+};
+
+struct EvaluationResult {
+  std::vector<PredictionRecord> records;
+  EvaluationSummary summary;
+  std::vector<AttentionPoint> attention;
+  std::vector<HaltingRecord> halts;
+};
+
+class KvecTrainer {
+ public:
+  explicit KvecTrainer(KvecModel* model);
+
+  // One pass over `episodes` in random order, one update per episode.
+  TrainEpochStats TrainEpoch(const std::vector<TangledSequence>& episodes);
+
+  // config().epochs passes; returns per-epoch stats.
+  std::vector<TrainEpochStats> Train(
+      const std::vector<TangledSequence>& episodes);
+
+  // Like Train, but evaluates the validation split after every epoch and
+  // restores the parameters of the epoch with the best validation harmonic
+  // mean before returning (early-stopping-style model selection over the
+  // paper's 8:1:1 split). `best_epoch` (0-based, optional) reports which
+  // epoch won.
+  std::vector<TrainEpochStats> TrainWithValidation(
+      const std::vector<TangledSequence>& train_episodes,
+      const std::vector<TangledSequence>& validation_episodes,
+      int* best_epoch = nullptr);
+
+  EvaluationResult Evaluate(const std::vector<TangledSequence>& episodes,
+                            const EvalOptions& options = {});
+
+ private:
+  KvecModel* model_;
+  Adam main_optimizer_;
+  Adam baseline_optimizer_;
+  Rng rng_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_TRAINER_H_

@@ -1,0 +1,41 @@
+// CSV import/export of tangled key-value sequence corpora.
+//
+// This is the bring-your-own-data path: a downstream user converts real
+// traces (packet captures, clickstreams, rating logs) into this CSV layout
+// and trains KVEC on them without touching the generators.
+//
+// Layout (header required):
+//   episode,key,time,label,v0,v1,...[,true_halt]
+// One row per item, rows of one episode contiguous and time-ordered within
+// the episode. `label` is the class of the item's key-value sequence and
+// must be consistent for all items of one (episode, key). `true_halt` is
+// optional ground truth for halting-position evaluation (0 = unknown).
+#ifndef KVEC_DATA_IO_H_
+#define KVEC_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace kvec {
+
+// Serialises episodes; every item must have `num_value_fields` values.
+std::string TangledSequencesToCsv(const std::vector<TangledSequence>& episodes,
+                                  int num_value_fields);
+
+// Parses the CSV layout above. Returns false (and leaves `episodes`
+// untouched) on malformed input: missing columns, ragged rows,
+// non-numeric fields, inconsistent labels, or out-of-order times.
+bool TangledSequencesFromCsv(const std::string& csv,
+                             std::vector<TangledSequence>* episodes);
+
+// File convenience wrappers; false on I/O or parse failure.
+bool SaveTangledSequences(const std::vector<TangledSequence>& episodes,
+                          int num_value_fields, const std::string& path);
+bool LoadTangledSequences(const std::string& path,
+                          std::vector<TangledSequence>* episodes);
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_IO_H_

@@ -1,0 +1,127 @@
+#include "data/movielens_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+std::vector<double> SoftmaxWeights(const std::vector<double>& logits) {
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> weights(logits.size());
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    weights[i] = std::exp(logits[i] - max_logit);
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+MovieLensGenerator::MovieLensGenerator(const MovieLensGeneratorConfig& config)
+    : config_(config) {
+  KVEC_CHECK_GE(config_.num_genres, 2);
+  KVEC_CHECK_GE(config_.num_movie_buckets, 2);
+  KVEC_CHECK_GE(config_.num_ratings, 2);
+  KVEC_CHECK_GE(config_.concurrency, 1);
+
+  spec_.name = config_.name;
+  spec_.value_fields = {{"movie_bucket", config_.num_movie_buckets},
+                        {"genre", config_.num_genres},
+                        {"rating", config_.num_ratings}};
+  spec_.session_field = 1;  // same-genre runs
+  spec_.num_classes = 2;    // gender
+  spec_.max_keys_per_episode = config_.concurrency;
+  spec_.max_sequence_length =
+      static_cast<int>(config_.avg_sequence_length * 4.0) + 16;
+  spec_.max_episode_length = spec_.max_sequence_length * config_.concurrency;
+  spec_.target_avg_length = config_.avg_sequence_length;
+  spec_.target_avg_session_length =
+      1.0 / std::max(1e-6, 1.0 - config_.session_continue_prob);
+
+  Rng profile_rng(config_.profile_seed);
+  // Shared base taste plus gender-specific offsets: the two genders overlap
+  // (classification is nontrivial) but differ systematically.
+  std::vector<double> base_logits(config_.num_genres);
+  for (double& logit : base_logits) logit = profile_rng.NextGaussian();
+  profiles_.resize(2);
+  for (int g = 0; g < 2; ++g) {
+    std::vector<double> logits(config_.num_genres);
+    for (int i = 0; i < config_.num_genres; ++i) {
+      logits[i] = base_logits[i] +
+                  config_.preference_sharpness * profile_rng.NextGaussian();
+    }
+    profiles_[g].genre_weights = SoftmaxWeights(logits);
+    profiles_[g].rating_means.resize(config_.num_genres);
+    for (int i = 0; i < config_.num_genres; ++i) {
+      profiles_[g].rating_means[i] = profile_rng.NextUniform(
+          0.3 * config_.num_ratings, 0.9 * config_.num_ratings);
+    }
+  }
+  genre_movies_.resize(config_.num_genres);
+  for (int i = 0; i < config_.num_genres; ++i) {
+    std::vector<double> logits(config_.num_movie_buckets);
+    // Popularity within a genre is concentrated on a few buckets.
+    for (double& logit : logits) logit = 2.0 * profile_rng.NextGaussian();
+    genre_movies_[i] = SoftmaxWeights(logits);
+  }
+}
+
+TangledSequence MovieLensGenerator::GenerateEpisode(Rng& rng) const {
+  struct PendingItem {
+    double time;
+    Item item;
+  };
+  std::vector<PendingItem> pending;
+  TangledSequence episode;
+
+  for (int key = 0; key < config_.concurrency; ++key) {
+    int gender = rng.NextInt(2);
+    episode.labels[key] = gender;
+    const GenderProfile& profile = profiles_[gender];
+
+    int length = config_.min_sequence_length +
+                 rng.NextPoisson(std::max(
+                     0.0, config_.avg_sequence_length -
+                              config_.min_sequence_length));
+    length = std::min(length, spec_.max_sequence_length);
+
+    double time = rng.NextUniform(0.0, config_.mean_inter_arrival * 4.0);
+    int genre = rng.NextCategorical(profile.genre_weights);
+    for (int i = 0; i < length; ++i) {
+      // Session boundary: re-draw the genre, excluding the current one so
+      // the run really ends (otherwise concentrated preferences merge runs
+      // and the average session length overshoots Table I's 1.7).
+      if (i > 0 && !rng.NextBernoulli(config_.session_continue_prob)) {
+        std::vector<double> weights = profile.genre_weights;
+        weights[genre] = 0.0;
+        genre = rng.NextCategorical(weights);
+      }
+      int movie = rng.NextCategorical(genre_movies_[genre]);
+      double mean = profile.rating_means[genre];
+      int rating = static_cast<int>(
+          std::clamp(mean + rng.NextGaussian(), 0.0,
+                     static_cast<double>(config_.num_ratings - 1)));
+      Item item;
+      item.key = key;
+      item.value = {movie, genre, rating};
+      item.time = time;
+      pending.push_back({time, std::move(item)});
+      time += rng.NextUniform(0.2, 1.8) * config_.mean_inter_arrival;
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingItem& a, const PendingItem& b) {
+                     return a.time < b.time;
+                   });
+  episode.items.reserve(pending.size());
+  for (PendingItem& p : pending) episode.items.push_back(std::move(p.item));
+  return episode;
+}
+
+}  // namespace kvec

@@ -1,0 +1,104 @@
+#include "data/perturb.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+// Rebuilds the per-key bookkeeping (true_halt_positions may reference item
+// positions that no longer exist after a structural perturbation; clamp
+// them to the new lengths).
+void ClampTrueHalts(TangledSequence* episode) {
+  if (episode->true_halt_positions.empty()) return;
+  std::map<int, int> lengths;
+  for (const Item& item : episode->items) ++lengths[item.key];
+  for (auto& [key, position] : episode->true_halt_positions) {
+    auto it = lengths.find(key);
+    const int length = it == lengths.end() ? 1 : it->second;
+    position = std::clamp(position, 1, length);
+  }
+}
+
+}  // namespace
+
+TangledSequence DropItems(const TangledSequence& episode, double drop_prob,
+                          Rng& rng) {
+  KVEC_CHECK(drop_prob >= 0.0 && drop_prob < 1.0);
+  // Count per-key items so the final survivor of a key is kept.
+  std::map<int, int> remaining;
+  for (const Item& item : episode.items) ++remaining[item.key];
+  std::map<int, int> kept;
+
+  TangledSequence out;
+  out.labels = episode.labels;
+  out.true_halt_positions = episode.true_halt_positions;
+  const int total = static_cast<int>(episode.items.size());
+  for (int i = 0; i < total; ++i) {
+    const Item& item = episode.items[i];
+    --remaining[item.key];
+    const bool last_chance = remaining[item.key] == 0 && kept[item.key] == 0;
+    if (!last_chance && rng.NextBernoulli(drop_prob)) continue;
+    out.items.push_back(item);
+    ++kept[item.key];
+  }
+  ClampTrueHalts(&out);
+  return out;
+}
+
+TangledSequence CorruptValues(const TangledSequence& episode, int field,
+                              int vocab_size, double noise_prob, Rng& rng) {
+  KVEC_CHECK_GE(field, 0);
+  KVEC_CHECK_GT(vocab_size, 0);
+  KVEC_CHECK(noise_prob >= 0.0 && noise_prob <= 1.0);
+  TangledSequence out = episode;
+  for (Item& item : out.items) {
+    KVEC_CHECK_LT(field, static_cast<int>(item.value.size()));
+    if (rng.NextBernoulli(noise_prob)) {
+      item.value[field] = rng.NextInt(vocab_size);
+    }
+  }
+  return out;
+}
+
+TangledSequence TruncateSequences(const TangledSequence& episode,
+                                  int max_items) {
+  KVEC_CHECK_GE(max_items, 1);
+  TangledSequence out;
+  out.labels = episode.labels;
+  out.true_halt_positions = episode.true_halt_positions;
+  std::map<int, int> seen;
+  for (const Item& item : episode.items) {
+    if (seen[item.key] >= max_items) continue;
+    ++seen[item.key];
+    out.items.push_back(item);
+  }
+  ClampTrueHalts(&out);
+  return out;
+}
+
+TangledSequence JitterOrder(const TangledSequence& episode,
+                            int max_displacement, Rng& rng) {
+  KVEC_CHECK_GE(max_displacement, 0);
+  TangledSequence out = episode;
+  if (max_displacement == 0 || out.items.size() < 2) return out;
+  // Fisher-Yates-style bounded swaps, then restore monotone timestamps by
+  // sorting on the (jittered) position and reassigning the original sorted
+  // time values.
+  std::vector<double> times;
+  times.reserve(out.items.size());
+  for (const Item& item : out.items) times.push_back(item.time);
+  const int total = static_cast<int>(out.items.size());
+  for (int i = 0; i < total; ++i) {
+    const int span = std::min(max_displacement, total - 1 - i);
+    if (span == 0) continue;
+    const int j = i + rng.NextInt(span + 1);
+    std::swap(out.items[i], out.items[j]);
+  }
+  for (int i = 0; i < total; ++i) out.items[i].time = times[i];
+  return out;
+}
+
+}  // namespace kvec

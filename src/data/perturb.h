@@ -1,0 +1,58 @@
+// Perturbations of tangled sequences for robustness evaluation and failure
+// injection.
+//
+// Real deployments of an early classifier see imperfect streams: dropped
+// packets / missing events, corrupted value fields, truncated flows, and
+// reordering from multi-path delivery. These transforms inject each fault
+// mode into generated episodes so that tests and the ext_robustness bench
+// can measure how gracefully KVEC and the baselines degrade. All transforms
+// preserve the invariants `TangledSequence::Validate` checks (chronological
+// order, label coverage, value arity) and are deterministic given the Rng.
+#ifndef KVEC_DATA_PERTURB_H_
+#define KVEC_DATA_PERTURB_H_
+
+#include <vector>
+
+#include "data/types.h"
+#include "util/rng.h"
+
+namespace kvec {
+
+// Independently deletes each item with probability `drop_prob`, but never
+// drops the last remaining item of a key (a sequence must stay non-empty so
+// its label remains classifiable).
+TangledSequence DropItems(const TangledSequence& episode, double drop_prob,
+                          Rng& rng);
+
+// With probability `noise_prob` per item, replaces the value in field
+// `field` with a uniform draw from [0, vocab_size). Other fields are
+// untouched.
+TangledSequence CorruptValues(const TangledSequence& episode, int field,
+                              int vocab_size, double noise_prob, Rng& rng);
+
+// Keeps only the first `max_items` items of every key-value sequence
+// (flow cut short mid-capture). `max_items` >= 1.
+TangledSequence TruncateSequences(const TangledSequence& episode,
+                                  int max_items);
+
+// Local reordering: each item may swap forward up to `max_displacement`
+// stream positions (timestamps are re-sorted afterwards so chronological
+// order holds). Models jitter in multi-path packet delivery.
+TangledSequence JitterOrder(const TangledSequence& episode,
+                            int max_displacement, Rng& rng);
+
+// Applies a perturbation to every episode of a split.
+template <typename Fn>
+std::vector<TangledSequence> PerturbAll(
+    const std::vector<TangledSequence>& episodes, Fn&& transform) {
+  std::vector<TangledSequence> out;
+  out.reserve(episodes.size());
+  for (const TangledSequence& episode : episodes) {
+    out.push_back(transform(episode));
+  }
+  return out;
+}
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_PERTURB_H_

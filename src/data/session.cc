@@ -1,0 +1,44 @@
+#include "data/session.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace kvec {
+
+std::vector<int> ComputeSessionIds(const TangledSequence& sequence,
+                                   int session_field) {
+  struct KeyState {
+    int last_value = -1;
+    int session_id = -1;
+  };
+  std::map<int, KeyState> states;
+  std::vector<int> session_ids(sequence.items.size());
+  for (size_t i = 0; i < sequence.items.size(); ++i) {
+    const Item& item = sequence.items[i];
+    KVEC_CHECK_LT(session_field, static_cast<int>(item.value.size()));
+    KeyState& state = states[item.key];
+    int value = item.value[session_field];
+    if (state.session_id < 0 || value != state.last_value) {
+      ++state.session_id;
+      state.last_value = value;
+    }
+    session_ids[i] = state.session_id;
+  }
+  return session_ids;
+}
+
+double AverageSessionLength(const TangledSequence& sequence,
+                            int session_field) {
+  if (sequence.items.empty()) return 0.0;
+  std::vector<int> session_ids = ComputeSessionIds(sequence, session_field);
+  // Count sessions: one per (key, session id) pair.
+  std::map<std::pair<int, int>, int> session_sizes;
+  for (size_t i = 0; i < sequence.items.size(); ++i) {
+    ++session_sizes[{sequence.items[i].key, session_ids[i]}];
+  }
+  return static_cast<double>(sequence.items.size()) /
+         static_cast<double>(session_sizes.size());
+}
+
+}  // namespace kvec

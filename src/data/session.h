@@ -1,0 +1,27 @@
+// Session segmentation (paper §IV-B, "value correlation").
+//
+// A *session* is a maximal run of consecutive items of one key-value
+// sequence sharing the same value in the session field (e.g., packets with
+// the same transmission direction = a burst; movies of the same genre a
+// user watched back-to-back).
+#ifndef KVEC_DATA_SESSION_H_
+#define KVEC_DATA_SESSION_H_
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace kvec {
+
+// For each item of `sequence` (by global item index), the 0-based session
+// id *within its key sequence*. Session ids restart at 0 for every key.
+std::vector<int> ComputeSessionIds(const TangledSequence& sequence,
+                                   int session_field);
+
+// Average session length over all keys of `sequence`.
+double AverageSessionLength(const TangledSequence& sequence,
+                            int session_field);
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_SESSION_H_

@@ -1,0 +1,42 @@
+#include "data/stats.h"
+
+#include <set>
+
+#include "data/session.h"
+
+namespace kvec {
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_classes = dataset.spec.num_classes;
+  int64_t total_items = 0;
+  double session_length_sum = 0.0;
+  int session_sequences = 0;
+  auto accumulate = [&](const std::vector<TangledSequence>& split) {
+    for (const TangledSequence& episode : split) {
+      stats.num_episodes += 1;
+      stats.num_keys += episode.num_keys();
+      total_items += static_cast<int64_t>(episode.items.size());
+      session_length_sum +=
+          AverageSessionLength(episode, dataset.spec.session_field);
+      session_sequences += 1;
+    }
+  };
+  accumulate(dataset.train);
+  accumulate(dataset.validation);
+  accumulate(dataset.test);
+  if (stats.num_keys > 0) {
+    stats.avg_sequence_length =
+        static_cast<double>(total_items) / stats.num_keys;
+  }
+  if (session_sequences > 0) {
+    stats.avg_session_length = session_length_sum / session_sequences;
+  }
+  if (stats.num_episodes > 0) {
+    stats.avg_episode_length =
+        static_cast<double>(total_items) / stats.num_episodes;
+  }
+  return stats;
+}
+
+}  // namespace kvec

@@ -1,0 +1,23 @@
+// Dataset statistics (Table I of the paper).
+#ifndef KVEC_DATA_STATS_H_
+#define KVEC_DATA_STATS_H_
+
+#include "data/types.h"
+
+namespace kvec {
+
+struct DatasetStats {
+  int num_keys = 0;                  // total key-value sequences
+  double avg_sequence_length = 0.0;  // avg |S_k|
+  double avg_session_length = 0.0;
+  int num_classes = 0;
+  int num_episodes = 0;
+  double avg_episode_length = 0.0;  // items per tangled sequence
+};
+
+// Statistics over all splits of `dataset`.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_STATS_H_

@@ -1,0 +1,106 @@
+#include "data/stop_signal_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+std::vector<double> SharpMultinomial(int size, double sharpness, Rng& rng) {
+  std::vector<double> logits(size);
+  for (double& logit : logits) logit = sharpness * rng.NextGaussian();
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> weights(size);
+  double total = 0.0;
+  for (int i = 0; i < size; ++i) {
+    weights[i] = std::exp(logits[i] - max_logit);
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+StopSignalGenerator::StopSignalGenerator(
+    const StopSignalGeneratorConfig& config)
+    : config_(config) {
+  KVEC_CHECK_GT(config_.signal_length, 0);
+  KVEC_CHECK_GE(config_.flow_length, config_.signal_length);
+  KVEC_CHECK_GE(config_.concurrency, 1);
+
+  spec_.name = config_.name;
+  spec_.value_fields = {{"size_bucket", config_.num_size_buckets},
+                        {"direction", 2}};
+  spec_.session_field = 1;
+  spec_.num_classes = 2;
+  spec_.max_keys_per_episode = config_.concurrency;
+  spec_.max_sequence_length = config_.flow_length;
+  spec_.max_episode_length = config_.flow_length * config_.concurrency;
+  spec_.target_avg_length = config_.flow_length;
+  spec_.target_avg_session_length = 2.1;  // Table I
+
+  Rng profile_rng(config_.profile_seed);
+  signal_weights_.resize(2);
+  for (int c = 0; c < 2; ++c) {
+    signal_weights_[c] = SharpMultinomial(config_.num_size_buckets,
+                                          config_.signal_sharpness,
+                                          profile_rng);
+  }
+  // Filler items are drawn uniformly: they carry no class information.
+  empty_weights_.assign(config_.num_size_buckets,
+                        1.0 / config_.num_size_buckets);
+}
+
+TangledSequence StopSignalGenerator::GenerateEpisode(Rng& rng) const {
+  struct PendingItem {
+    double time;
+    Item item;
+  };
+  std::vector<PendingItem> pending;
+  TangledSequence episode;
+
+  for (int key = 0; key < config_.concurrency; ++key) {
+    int label = rng.NextInt(2);
+    episode.labels[key] = label;
+
+    const int signal_begin =
+        config_.early_stop ? 0 : config_.flow_length - config_.signal_length;
+    const int signal_end = signal_begin + config_.signal_length;
+    // The class is determined once the last signal item is seen.
+    episode.true_halt_positions[key] = signal_end;
+
+    double time = rng.NextUniform(0.0, config_.mean_inter_arrival * 5.0);
+    int direction = 0;
+    for (int i = 0; i < config_.flow_length; ++i) {
+      const bool in_signal = i >= signal_begin && i < signal_end;
+      int size_bucket = rng.NextCategorical(in_signal ? signal_weights_[label]
+                                                      : empty_weights_);
+      // Signal items carry a class-specific direction rhythm; filler
+      // alternates slowly and identically for both classes.
+      if (in_signal) {
+        direction = (label == 0) ? (i % 2) : ((i / 2) % 2);
+      } else if (rng.NextBernoulli(0.5)) {
+        direction = 1 - direction;
+      }
+      Item item;
+      item.key = key;
+      item.value = {size_bucket, direction};
+      item.time = time;
+      pending.push_back({time, std::move(item)});
+      time += rng.NextUniform(0.5, 1.5) * config_.mean_inter_arrival;
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingItem& a, const PendingItem& b) {
+                     return a.time < b.time;
+                   });
+  episode.items.reserve(pending.size());
+  for (PendingItem& p : pending) episode.items.push_back(std::move(p.item));
+  return episode;
+}
+
+}  // namespace kvec

@@ -1,0 +1,54 @@
+// The paper's Synthetic-Traffic dataset (§V-A): flows with a known true
+// halting position, used to evaluate the halting policy (Fig. 11).
+//
+// Two classes of flows. Each flow carries a `signal_length`-item
+// discriminative "stop signal" — drawn from sharply class-specific token
+// distributions — either at the very start (early-stop subdataset) or at the
+// very end (late-stop subdataset); every other item is an uninformative
+// "empty packet" drawn from a class-independent distribution. The true
+// halting position of a flow is the item index at which the signal has been
+// fully observed.
+#ifndef KVEC_DATA_STOP_SIGNAL_GENERATOR_H_
+#define KVEC_DATA_STOP_SIGNAL_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/types.h"
+#include "util/rng.h"
+
+namespace kvec {
+
+struct StopSignalGeneratorConfig {
+  std::string name = "synthetic-traffic";
+  bool early_stop = true;  // false = late-stop subdataset
+  int flow_length = 60;    // paper uses 100
+  int signal_length = 10;  // paper intercepts the first ten packets
+  int concurrency = 4;
+  int num_size_buckets = 16;
+  double signal_sharpness = 4.0;
+  double mean_inter_arrival = 0.01;
+  uint64_t profile_seed = 20240411;
+};
+
+class StopSignalGenerator : public EpisodeGenerator {
+ public:
+  explicit StopSignalGenerator(const StopSignalGeneratorConfig& config);
+
+  const DatasetSpec& spec() const override { return spec_; }
+  TangledSequence GenerateEpisode(Rng& rng) const override;
+
+  const StopSignalGeneratorConfig& config() const { return config_; }
+
+ private:
+  StopSignalGeneratorConfig config_;
+  DatasetSpec spec_;
+  // Per class: token distribution of signal items.
+  std::vector<std::vector<double>> signal_weights_;
+  std::vector<double> empty_weights_;  // class-independent filler
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_STOP_SIGNAL_GENERATOR_H_

@@ -1,0 +1,154 @@
+#include "data/traffic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+// Sharpened random multinomial over `size` outcomes: softmax of
+// sharpness-scaled Gaussians. Distinct draws give distinct but overlapping
+// class signatures.
+std::vector<double> RandomMultinomial(int size, double sharpness, Rng& rng) {
+  std::vector<double> weights(size);
+  double max_logit = -1e30;
+  std::vector<double> logits(size);
+  for (int i = 0; i < size; ++i) {
+    logits[i] = sharpness * rng.NextGaussian();
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  double total = 0.0;
+  for (int i = 0; i < size; ++i) {
+    weights[i] = std::exp(logits[i] - max_logit);
+    total += weights[i];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double NextExponential(Rng& rng, double mean) {
+  double u = rng.NextDouble();
+  while (u <= 0.0) u = rng.NextDouble();
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(const TrafficGeneratorConfig& config)
+    : config_(config) {
+  KVEC_CHECK_GE(config_.num_classes, 2);
+  KVEC_CHECK_GE(config_.num_size_buckets, 2);
+  KVEC_CHECK_GE(config_.concurrency, 1);
+  KVEC_CHECK_GE(config_.min_flow_length, 2);
+  KVEC_CHECK_GE(config_.avg_flow_length, config_.min_flow_length);
+  KVEC_CHECK_LE(config_.num_short_flow_classes, config_.num_classes);
+
+  spec_.name = config_.name;
+  spec_.value_fields = {{"size_bucket", config_.num_size_buckets},
+                        {"direction", 2}};
+  spec_.session_field = 1;  // bursts = same-direction runs
+  spec_.num_classes = config_.num_classes;
+  spec_.max_keys_per_episode = config_.concurrency;
+  spec_.max_sequence_length =
+      static_cast<int>(config_.avg_flow_length * 4.0) + 16;
+  spec_.max_episode_length =
+      spec_.max_sequence_length * config_.concurrency;
+  spec_.target_avg_length = config_.avg_flow_length;
+  spec_.target_avg_session_length =
+      1.0 / std::max(1e-6, 1.0 - config_.burst_continue_prob);
+
+  Rng profile_rng(config_.profile_seed);
+  profiles_.resize(config_.num_classes);
+  for (int c = 0; c < config_.num_classes; ++c) {
+    ClassProfile& profile = profiles_[c];
+    profile.handshake_weights = RandomMultinomial(
+        config_.num_size_buckets, config_.handshake_sharpness, profile_rng);
+    profile.body_weights = RandomMultinomial(config_.num_size_buckets,
+                                             config_.body_sharpness,
+                                             profile_rng);
+    profile.burst_continue_prob = std::clamp(
+        config_.burst_continue_prob + 0.25 * profile_rng.NextGaussian() * 0.3,
+        0.05, 0.95);
+    profile.avg_length = config_.avg_flow_length;
+    if (c < config_.num_short_flow_classes) profile.avg_length /= 3.0;
+    profile.avg_length =
+        std::max<double>(config_.min_flow_length, profile.avg_length);
+  }
+}
+
+TangledSequence TrafficGenerator::GenerateEpisode(Rng& rng) const {
+  struct PendingItem {
+    double time;
+    Item item;
+  };
+  std::vector<PendingItem> pending;
+  TangledSequence episode;
+
+  // Optional class co-occurrence: restrict this episode to a small set of
+  // distinct classes (see TrafficGeneratorConfig::classes_per_episode).
+  std::vector<int> episode_classes;
+  if (config_.classes_per_episode > 0) {
+    const int k = std::min(config_.classes_per_episode, config_.num_classes);
+    while (static_cast<int>(episode_classes.size()) < k) {
+      const int candidate = rng.NextInt(config_.num_classes);
+      if (std::find(episode_classes.begin(), episode_classes.end(),
+                    candidate) == episode_classes.end()) {
+        episode_classes.push_back(candidate);
+      }
+    }
+  }
+
+  for (int key = 0; key < config_.concurrency; ++key) {
+    int label = episode_classes.empty()
+                    ? rng.NextInt(config_.num_classes)
+                    : episode_classes[rng.NextInt(
+                          static_cast<int>(episode_classes.size()))];
+    episode.labels[key] = label;
+    const ClassProfile& profile = profiles_[label];
+
+    // Flow length: min + Poisson spread around the class mean.
+    int length =
+        config_.min_flow_length +
+        rng.NextPoisson(
+            std::max(0.0, profile.avg_length - config_.min_flow_length));
+    length = std::min(length, spec_.max_sequence_length);
+
+    // Flows start at staggered offsets so the stream is genuinely tangled.
+    double time = rng.NextUniform(
+        0.0, config_.mean_inter_arrival * profile.avg_length * 0.5);
+    int direction = 0;  // client -> server first
+    for (int i = 0; i < length; ++i) {
+      const bool in_handshake = i < config_.handshake_length;
+      const std::vector<double>& weights =
+          in_handshake ? profile.handshake_weights : profile.body_weights;
+      int size_bucket = rng.NextCategorical(weights);
+      // Server->client packets skew one bucket larger (responses carry
+      // payload), a weak direction/size coupling seen in real traces.
+      if (direction == 1) {
+        size_bucket = std::min(size_bucket + 1, config_.num_size_buckets - 1);
+      }
+      Item item;
+      item.key = key;
+      item.value = {size_bucket, direction};
+      item.time = time;
+      pending.push_back({time, std::move(item)});
+
+      if (!rng.NextBernoulli(profile.burst_continue_prob)) {
+        direction = 1 - direction;
+      }
+      time += NextExponential(rng, config_.mean_inter_arrival);
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingItem& a, const PendingItem& b) {
+                     return a.time < b.time;
+                   });
+  episode.items.reserve(pending.size());
+  for (PendingItem& p : pending) episode.items.push_back(std::move(p.item));
+  return episode;
+}
+
+}  // namespace kvec

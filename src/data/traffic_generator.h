@@ -1,0 +1,86 @@
+// Synthetic encrypted-traffic workload generator.
+//
+// Stands in for USTC-TFC2016, Traffic-FG, and Traffic-App (see DESIGN.md §1).
+// Each episode contains `concurrency` network flows (key = flow id) whose
+// packets (value = (size bucket, direction)) interleave chronologically.
+// Class-discriminative structure mirrors what the traffic-analysis
+// literature reports and what the paper relies on:
+//  * a short, highly discriminative "handshake" prefix (first packets are
+//    the most informative, paper §V-A / ref [48]);
+//  * class-specific packet-size distributions in the flow body;
+//  * bursts — runs of same-direction packets — whose length statistics are
+//    class-specific (sessions in the paper's terminology).
+#ifndef KVEC_DATA_TRAFFIC_GENERATOR_H_
+#define KVEC_DATA_TRAFFIC_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/types.h"
+#include "util/rng.h"
+
+namespace kvec {
+
+struct TrafficGeneratorConfig {
+  std::string name = "traffic";
+  int num_classes = 12;
+  int num_size_buckets = 16;
+  int concurrency = 4;  // flows per episode (the paper's K)
+
+  // Class co-occurrence: when > 0, each episode first samples this many
+  // distinct classes and draws its flows from them, so concurrent flows
+  // cluster by class — the structure the paper's value correlation feeds
+  // on ("network flows with similar packets may result from the same
+  // attack behavior", §I; one application opens several flows at once).
+  // 0 = every flow's class is independent (no cross-flow class signal).
+  int classes_per_episode = 0;
+
+  int min_flow_length = 8;
+  double avg_flow_length = 30.0;
+  // Classes index < num_short_flow_classes get avg_flow_length / 3
+  // (UDP-like application classes in Traffic-App).
+  int num_short_flow_classes = 0;
+
+  // Probability that the next packet keeps the current direction; per-class
+  // jitter is added on top. Controls average burst (= session) length.
+  double burst_continue_prob = 0.55;
+
+  // How peaked the class-conditional size distributions are. Larger =
+  // easier classification.
+  double body_sharpness = 1.6;
+  double handshake_sharpness = 3.0;
+  int handshake_length = 5;
+
+  double mean_inter_arrival = 0.01;  // seconds between packets of one flow
+
+  // Seed from which the fixed per-class "protocol profiles" are derived;
+  // independent of the episode stream so train/test share class structure.
+  uint64_t profile_seed = 20240407;
+};
+
+class TrafficGenerator : public EpisodeGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficGeneratorConfig& config);
+
+  const DatasetSpec& spec() const override { return spec_; }
+  TangledSequence GenerateEpisode(Rng& rng) const override;
+
+  const TrafficGeneratorConfig& config() const { return config_; }
+
+ private:
+  struct ClassProfile {
+    std::vector<double> handshake_weights;  // over size buckets
+    std::vector<double> body_weights;       // over size buckets
+    double burst_continue_prob = 0.5;
+    double avg_length = 0.0;
+  };
+
+  TrafficGeneratorConfig config_;
+  DatasetSpec spec_;
+  std::vector<ClassProfile> profiles_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_DATA_TRAFFIC_GENERATOR_H_

@@ -1,0 +1,34 @@
+#include "data/types.h"
+
+#include "util/check.h"
+
+namespace kvec {
+
+std::vector<int> TangledSequence::KeyItemIndices(int key) const {
+  std::vector<int> indices;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].key == key) indices.push_back(static_cast<int>(i));
+  }
+  return indices;
+}
+
+int TangledSequence::KeyLength(int key) const {
+  int length = 0;
+  for (const Item& item : items) {
+    if (item.key == key) ++length;
+  }
+  return length;
+}
+
+void TangledSequence::Validate(int num_value_fields) const {
+  double previous_time = -1.0;
+  for (const Item& item : items) {
+    KVEC_CHECK_GE(item.time, previous_time) << "items out of order";
+    previous_time = item.time;
+    KVEC_CHECK_EQ(static_cast<int>(item.value.size()), num_value_fields)
+        << "value arity mismatch";
+    KVEC_CHECK(labels.count(item.key)) << "item with unlabeled key";
+  }
+}
+
+}  // namespace kvec

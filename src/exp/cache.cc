@@ -1,0 +1,65 @@
+#include "exp/cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace kvec {
+
+SweepCache::SweepCache(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code error;
+  std::filesystem::create_directories(directory_, error);
+}
+
+SweepCache SweepCache::Default() { return SweepCache("kvec_bench_cache"); }
+
+bool SweepCache::FreshRunRequested() {
+  const char* env = std::getenv("KVEC_BENCH_FRESH");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string SweepCache::PathFor(const std::string& key) const {
+  std::string sanitized;
+  for (char c : key) {
+    sanitized += (std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                  c == '-' || c == '_')
+                     ? c
+                     : '_';
+  }
+  return directory_ + "/" + sanitized + ".csv";
+}
+
+bool SweepCache::Load(const std::string& key,
+                      std::vector<SweepPoint>* points) const {
+  if (FreshRunRequested()) return false;
+  std::ifstream in(PathFor(key));
+  if (!in) return false;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  Table table({"placeholder"});
+  if (!Table::FromCsv(contents, &table)) return false;
+  return SweepFromTable(table, points);
+}
+
+void SweepCache::Store(const std::string& key,
+                       const std::vector<SweepPoint>& points) const {
+  std::ofstream out(PathFor(key));
+  KVEC_CHECK(static_cast<bool>(out))
+      << "cannot write sweep cache " << PathFor(key);
+  out << SweepToTable(points).ToCsv();
+}
+
+std::vector<SweepPoint> SweepCache::LoadOrCompute(
+    const std::string& key,
+    const std::function<std::vector<SweepPoint>()>& compute) const {
+  std::vector<SweepPoint> points;
+  if (Load(key, &points)) return points;
+  points = compute();
+  Store(key, points);
+  return points;
+}
+
+}  // namespace kvec

@@ -1,0 +1,44 @@
+// On-disk cache of sweep results.
+//
+// Figures 3–7 are projections of one training sweep; the first figure
+// binary to run performs the (expensive) training and stores the points as
+// CSV, subsequent binaries reload them. KVEC_BENCH_FRESH=1 bypasses the
+// cache.
+#ifndef KVEC_EXP_CACHE_H_
+#define KVEC_EXP_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace kvec {
+
+class SweepCache {
+ public:
+  // `directory` is created if missing.
+  explicit SweepCache(std::string directory);
+
+  // Default cache next to the binary: ./kvec_bench_cache.
+  static SweepCache Default();
+
+  bool Load(const std::string& key, std::vector<SweepPoint>* points) const;
+  void Store(const std::string& key,
+             const std::vector<SweepPoint>& points) const;
+
+  // True when KVEC_BENCH_FRESH=1 (cache reads disabled).
+  static bool FreshRunRequested();
+
+  // Loads from the cache or runs `compute` and stores the result.
+  std::vector<SweepPoint> LoadOrCompute(
+      const std::string& key,
+      const std::function<std::vector<SweepPoint>()>& compute) const;
+
+ private:
+  std::string PathFor(const std::string& key) const;
+  std::string directory_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_EXP_CACHE_H_

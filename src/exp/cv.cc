@@ -1,0 +1,126 @@
+#include "exp/cv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace {
+
+// Accumulates `value(summary)` into mean/stddev fields via two passes.
+template <typename Getter, typename Setter>
+void Aggregate(const std::vector<EvaluationSummary>& summaries, Getter get,
+               Setter set, EvaluationSummary* mean,
+               EvaluationSummary* stddev) {
+  double sum = 0.0;
+  for (const EvaluationSummary& summary : summaries) sum += get(summary);
+  const double avg = sum / static_cast<double>(summaries.size());
+  double variance = 0.0;
+  for (const EvaluationSummary& summary : summaries) {
+    const double d = get(summary) - avg;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(summaries.size());
+  set(mean, avg);
+  set(stddev, std::sqrt(variance));
+}
+
+}  // namespace
+
+std::vector<Fold> MakeFolds(const std::vector<TangledSequence>& episodes,
+                            int num_folds, uint64_t seed,
+                            double validation_fraction) {
+  KVEC_CHECK_GE(num_folds, 2);
+  KVEC_CHECK_GE(static_cast<int>(episodes.size()), num_folds)
+      << "need at least one episode per fold";
+  KVEC_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0);
+
+  std::vector<int> order(episodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+
+  const int total = static_cast<int>(episodes.size());
+  std::vector<Fold> folds(num_folds);
+  for (int f = 0; f < num_folds; ++f) {
+    // Chunk bounds [begin, end) of fold f's test episodes.
+    const int begin = static_cast<int>(
+        static_cast<int64_t>(total) * f / num_folds);
+    const int end = static_cast<int>(
+        static_cast<int64_t>(total) * (f + 1) / num_folds);
+    std::vector<TangledSequence> rest;
+    for (int i = 0; i < total; ++i) {
+      const TangledSequence& episode = episodes[order[i]];
+      if (i >= begin && i < end) {
+        folds[f].test.push_back(episode);
+      } else {
+        rest.push_back(episode);
+      }
+    }
+    int validation_count = 0;
+    if (validation_fraction > 0.0 && rest.size() > 1) {
+      validation_count = std::max(
+          1, static_cast<int>(rest.size() * validation_fraction));
+      validation_count = std::min(validation_count,
+                                  static_cast<int>(rest.size()) - 1);
+    }
+    folds[f].validation.assign(rest.end() - validation_count, rest.end());
+    folds[f].train.assign(rest.begin(), rest.end() - validation_count);
+  }
+  return folds;
+}
+
+CrossValidationSummary AggregateSummaries(
+    const std::vector<EvaluationSummary>& summaries) {
+  KVEC_CHECK(!summaries.empty());
+  CrossValidationSummary result;
+  result.folds = static_cast<int>(summaries.size());
+  auto field = [&](auto member) {
+    Aggregate(
+        summaries, [member](const EvaluationSummary& s) { return s.*member; },
+        [member](EvaluationSummary* s, double v) { s->*member = v; },
+        &result.mean, &result.stddev);
+  };
+  field(&EvaluationSummary::earliness);
+  field(&EvaluationSummary::accuracy);
+  field(&EvaluationSummary::macro_precision);
+  field(&EvaluationSummary::macro_recall);
+  field(&EvaluationSummary::macro_f1);
+  field(&EvaluationSummary::harmonic_mean);
+  int sequences = 0;
+  for (const EvaluationSummary& summary : summaries) {
+    sequences += summary.num_sequences;
+  }
+  result.mean.num_sequences = sequences / result.folds;
+  return result;
+}
+
+CrossValidationSummary CrossValidate(const MethodSpec& method, double hyper,
+                                     const Dataset& dataset, int num_folds,
+                                     const MethodRunOptions& options,
+                                     uint64_t seed) {
+  // Pool every episode, then re-fold; the original 8:1:1 split is just one
+  // particular fold assignment.
+  std::vector<TangledSequence> pool = dataset.train;
+  pool.insert(pool.end(), dataset.validation.begin(),
+              dataset.validation.end());
+  pool.insert(pool.end(), dataset.test.begin(), dataset.test.end());
+
+  std::vector<EvaluationSummary> summaries;
+  summaries.reserve(num_folds);
+  for (const Fold& fold : MakeFolds(pool, num_folds, seed)) {
+    Dataset fold_dataset;
+    fold_dataset.spec = dataset.spec;
+    fold_dataset.train = fold.train;
+    fold_dataset.validation = fold.validation;
+    fold_dataset.test = fold.test;
+    summaries.push_back(
+        method.run(fold_dataset, hyper, options).summary);
+  }
+  return AggregateSummaries(summaries);
+}
+
+}  // namespace kvec

@@ -1,0 +1,55 @@
+// K-fold cross-validation over episodes (the paper evaluates with five-fold
+// cross-validation and reports averages, §V-A.4).
+//
+// Folds are formed over whole episodes, which keeps them key-disjoint: every
+// episode owns its keys, so no key ever appears in both the training and
+// test side of a fold — the paper's leakage guarantee.
+#ifndef KVEC_EXP_CV_H_
+#define KVEC_EXP_CV_H_
+
+#include <vector>
+
+#include "data/types.h"
+#include "exp/method.h"
+#include "metrics/metrics.h"
+
+namespace kvec {
+
+// Mean and (population) standard deviation of each metric over folds.
+struct CrossValidationSummary {
+  EvaluationSummary mean;
+  EvaluationSummary stddev;
+  int folds = 0;
+};
+
+// The episodes of one fold: test = the held-out chunk, train = the rest
+// minus a validation tail carved from the training side.
+struct Fold {
+  std::vector<TangledSequence> train;
+  std::vector<TangledSequence> validation;
+  std::vector<TangledSequence> test;
+};
+
+// Splits `episodes` into `num_folds` folds after a seeded shuffle. Fold i's
+// test set is the i-th chunk; `validation_fraction` of the remaining
+// episodes (at least one when the fraction is positive) become the
+// validation split. Requires num_folds >= 2 and enough episodes for one per
+// fold.
+std::vector<Fold> MakeFolds(const std::vector<TangledSequence>& episodes,
+                            int num_folds, uint64_t seed,
+                            double validation_fraction = 0.1);
+
+// Runs `method` at one grid value on every fold of `dataset` (all three
+// splits pooled, then re-folded) and aggregates the per-fold summaries.
+CrossValidationSummary CrossValidate(const MethodSpec& method, double hyper,
+                                     const Dataset& dataset, int num_folds,
+                                     const MethodRunOptions& options,
+                                     uint64_t seed = 20240405);
+
+// Aggregates summaries from folds evaluated elsewhere.
+CrossValidationSummary AggregateSummaries(
+    const std::vector<EvaluationSummary>& summaries);
+
+}  // namespace kvec
+
+#endif  // KVEC_EXP_CV_H_

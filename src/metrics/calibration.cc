@@ -1,0 +1,77 @@
+#include "metrics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace kvec {
+
+std::vector<CalibrationBin> ReliabilityBins(
+    const std::vector<PredictionRecord>& records, int num_bins) {
+  KVEC_CHECK_GT(num_bins, 0);
+  std::vector<CalibrationBin> bins(num_bins);
+  for (int b = 0; b < num_bins; ++b) {
+    bins[b].lower = static_cast<double>(b) / num_bins;
+    bins[b].upper = static_cast<double>(b + 1) / num_bins;
+  }
+  for (const PredictionRecord& record : records) {
+    int b = static_cast<int>(record.confidence * num_bins);
+    b = std::clamp(b, 0, num_bins - 1);  // confidence == 1.0 -> last bin
+    CalibrationBin& bin = bins[b];
+    ++bin.count;
+    bin.mean_confidence += record.confidence;
+    if (record.predicted_label == record.true_label) bin.accuracy += 1.0;
+  }
+  for (CalibrationBin& bin : bins) {
+    if (bin.count == 0) continue;
+    bin.mean_confidence /= bin.count;
+    bin.accuracy /= bin.count;
+  }
+  return bins;
+}
+
+double ExpectedCalibrationError(const std::vector<PredictionRecord>& records,
+                                int num_bins) {
+  if (records.empty()) return 0.0;
+  double ece = 0.0;
+  for (const CalibrationBin& bin : ReliabilityBins(records, num_bins)) {
+    if (bin.count == 0) continue;
+    ece += (static_cast<double>(bin.count) / records.size()) *
+           std::fabs(bin.accuracy - bin.mean_confidence);
+  }
+  return ece;
+}
+
+double MaximumCalibrationError(const std::vector<PredictionRecord>& records,
+                               int num_bins) {
+  double mce = 0.0;
+  for (const CalibrationBin& bin : ReliabilityBins(records, num_bins)) {
+    if (bin.count == 0) continue;
+    mce = std::max(mce, std::fabs(bin.accuracy - bin.mean_confidence));
+  }
+  return mce;
+}
+
+std::string CalibrationReport(const std::vector<PredictionRecord>& records,
+                              int num_bins) {
+  std::string out =
+      "confidence bin   count  mean_conf  accuracy   gap\n";
+  char line[128];
+  for (const CalibrationBin& bin : ReliabilityBins(records, num_bins)) {
+    std::snprintf(line, sizeof(line),
+                  "[%.2f, %.2f)     %-6d %.4f     %.4f     %+.4f\n",
+                  bin.lower, bin.upper, bin.count, bin.mean_confidence,
+                  bin.accuracy,
+                  bin.count == 0 ? 0.0 : bin.accuracy - bin.mean_confidence);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "ECE = %.4f   MCE = %.4f   (N = %zu)\n",
+                ExpectedCalibrationError(records, num_bins),
+                MaximumCalibrationError(records, num_bins), records.size());
+  out += line;
+  return out;
+}
+
+}  // namespace kvec

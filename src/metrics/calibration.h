@@ -1,0 +1,48 @@
+// Confidence-calibration diagnostics for early classifiers.
+//
+// An early classifier's halting decision often leans on its confidence
+// (SRN-Confidence does so explicitly), so a miscalibrated classifier halts
+// at the wrong time even when its argmax is fine. These helpers implement
+// the standard reliability analysis: bucket predictions by confidence,
+// compare per-bucket accuracy to mean confidence, and summarise the gap as
+// the Expected Calibration Error (ECE, Guo et al. 2017).
+#ifndef KVEC_METRICS_CALIBRATION_H_
+#define KVEC_METRICS_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace kvec {
+
+struct CalibrationBin {
+  double lower = 0.0;  // confidence interval [lower, upper)
+  double upper = 0.0;
+  int count = 0;
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+};
+
+// Equal-width confidence bins over [0, 1]; confidence exactly 1.0 falls in
+// the last bin. Records with confidence 0 (method exposes none) are kept —
+// they land in the first bin, which is usually what you want to see.
+std::vector<CalibrationBin> ReliabilityBins(
+    const std::vector<PredictionRecord>& records, int num_bins = 10);
+
+// ECE = Σ_b (|B_b| / N) * |accuracy(B_b) - mean_confidence(B_b)|.
+// Returns 0 for empty input.
+double ExpectedCalibrationError(const std::vector<PredictionRecord>& records,
+                                int num_bins = 10);
+
+// Maximum per-bin gap instead of the weighted average (MCE).
+double MaximumCalibrationError(const std::vector<PredictionRecord>& records,
+                               int num_bins = 10);
+
+// Aligned text table of the reliability bins plus the ECE line.
+std::string CalibrationReport(const std::vector<PredictionRecord>& records,
+                              int num_bins = 10);
+
+}  // namespace kvec
+
+#endif  // KVEC_METRICS_CALIBRATION_H_

@@ -1,0 +1,52 @@
+// Evaluation metrics (paper §V-A.3): earliness, accuracy, macro-averaged
+// precision / recall / F1, and the harmonic mean of accuracy and
+// (1 - earliness).
+#ifndef KVEC_METRICS_METRICS_H_
+#define KVEC_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kvec {
+
+// One early-classification outcome for one key-value sequence S_k.
+struct PredictionRecord {
+  int true_label = 0;
+  int predicted_label = 0;
+  int observed_items = 0;  // n_k
+  int sequence_length = 0;  // |S_k|
+  // The classifier's probability for the predicted label at the halting
+  // point (max softmax). 0 when the method does not expose confidences.
+  double confidence = 0.0;
+};
+
+struct EvaluationSummary {
+  double earliness = 0.0;  // mean over sequences of n_k / |S_k|
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+  double harmonic_mean = 0.0;  // HM of accuracy and (1 - earliness)
+  int num_sequences = 0;
+};
+
+// Computes all metrics over `records`; `num_classes` bounds the labels.
+EvaluationSummary Evaluate(const std::vector<PredictionRecord>& records,
+                           int num_classes);
+
+// HM as defined in the paper: 2 (1-E) A / ((1-E) + A); 0 when degenerate.
+double HarmonicMean(double accuracy, double earliness);
+
+// Confusion counts: matrix[truth][predicted].
+std::vector<std::vector<int64_t>> ConfusionMatrix(
+    const std::vector<PredictionRecord>& records, int num_classes);
+
+// Per-class precision/recall/F1/support plus a macro-average row, rendered
+// as an aligned text table (sklearn-style classification report).
+std::string ClassificationReport(const std::vector<PredictionRecord>& records,
+                                 int num_classes);
+
+}  // namespace kvec
+
+#endif  // KVEC_METRICS_METRICS_H_

@@ -1,0 +1,96 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+MaskedSelfAttention::MaskedSelfAttention(int dim, Rng& rng, int num_heads)
+    : dim_(dim),
+      num_heads_(num_heads),
+      query_(dim, dim, rng, /*use_bias=*/false),
+      key_(dim, dim, rng, /*use_bias=*/false),
+      value_(dim, dim, rng, /*use_bias=*/false) {
+  KVEC_CHECK(num_heads_ >= 1);
+  KVEC_CHECK(dim_ % num_heads_ == 0)
+      << "embed dim " << dim_ << " not divisible by " << num_heads_
+      << " heads";
+  if (num_heads_ > 1) {
+    output_ = std::make_unique<Linear>(dim, dim, rng, /*use_bias=*/false);
+  }
+}
+
+AttentionResult MaskedSelfAttention::Forward(const Tensor& x,
+                                             const Tensor& mask) const {
+  KVEC_CHECK_EQ(x.cols(), dim_);
+  KVEC_CHECK_EQ(mask.rows(), x.rows());
+  KVEC_CHECK_EQ(mask.cols(), x.rows());
+  Tensor q = query_.Forward(x);
+  Tensor k = key_.Forward(x);
+  Tensor v = value_.Forward(x);
+
+  if (num_heads_ == 1) {
+    Tensor scores =
+        ops::Affine(ops::MatMulTransposeB(q, k),
+                    1.0f / std::sqrt(static_cast<float>(dim_)), 0.0f);
+    Tensor weights = ops::MaskedSoftmax(scores, mask);
+    Tensor output = ops::MatMul(weights, v);
+    return {output, weights};
+  }
+
+  const int head_dim = dim_ / num_heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  Tensor concat;
+  Tensor weight_sum;
+  for (int h = 0; h < num_heads_; ++h) {
+    const int begin = h * head_dim, end = begin + head_dim;
+    Tensor qh = ops::SliceCols(q, begin, end);
+    Tensor kh = ops::SliceCols(k, begin, end);
+    Tensor vh = ops::SliceCols(v, begin, end);
+    Tensor scores = ops::Affine(ops::MatMulTransposeB(qh, kh), scale, 0.0f);
+    Tensor weights = ops::MaskedSoftmax(scores, mask);
+    Tensor head_out = ops::MatMul(weights, vh);
+    concat = h == 0 ? head_out : ops::ConcatCols(concat, head_out);
+    weight_sum = h == 0 ? weights : ops::Add(weight_sum, weights);
+  }
+  Tensor output = output_->Forward(concat);
+  Tensor mean_weights =
+      ops::Affine(weight_sum, 1.0f / static_cast<float>(num_heads_), 0.0f);
+  return {output, mean_weights};
+}
+
+void MaskedSelfAttention::CollectParameters(std::vector<Tensor>* out) {
+  query_.CollectParameters(out);
+  key_.CollectParameters(out);
+  value_.CollectParameters(out);
+  if (output_ != nullptr) output_->CollectParameters(out);
+}
+
+AttentionBlock::AttentionBlock(int dim, int ffn_hidden_dim, float dropout,
+                               Rng& rng, int num_heads)
+    : attention_(dim, rng, num_heads),
+      ffn_(dim, ffn_hidden_dim, rng),
+      norm_attention_(dim),
+      norm_ffn_(dim),
+      dropout_(dropout) {}
+
+AttentionResult AttentionBlock::Forward(const Tensor& x, const Tensor& mask,
+                                        Rng& rng, bool training) const {
+  AttentionResult attended = attention_.Forward(x, mask);
+  Tensor h = ops::Dropout(attended.output, dropout_, rng, training);
+  h = norm_attention_.Forward(ops::Add(x, h));
+  Tensor f = ops::Dropout(ffn_.Forward(h), dropout_, rng, training);
+  Tensor out = norm_ffn_.Forward(ops::Add(h, f));
+  return {out, attended.weights};
+}
+
+void AttentionBlock::CollectParameters(std::vector<Tensor>* out) {
+  attention_.CollectParameters(out);
+  ffn_.CollectParameters(out);
+  norm_attention_.CollectParameters(out);
+  norm_ffn_.CollectParameters(out);
+}
+
+}  // namespace kvec

@@ -1,0 +1,92 @@
+// Masked self-attention and the stacked attention block of the KVRL encoder.
+//
+// The paper modifies standard scaled dot-product self-attention by adding a
+// *dynamic mask matrix* M(t) ∈ {0, -inf}^{t×t} encoding key correlation,
+// value (session) correlation, and causality:
+//
+//     E' = Softmax((Q K^T + M) / sqrt(d)) V
+//
+// followed by a position-wise feed-forward layer. The block keeps the usual
+// Transformer residual connections + layer norm (see DESIGN.md §4.3).
+#ifndef KVEC_NN_ATTENTION_H_
+#define KVEC_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace kvec {
+
+// Output of an attention forward pass. `weights` are the post-softmax
+// attention coefficients ([t,t]); the instrumentation in Fig. 10 reads them.
+struct AttentionResult {
+  Tensor output;
+  Tensor weights;
+};
+
+// With `num_heads == 1` (the default) this is exactly the paper's operator:
+// Softmax((Q K^T + M) / sqrt(d)) V, with no output projection. With more
+// heads, Q/K/V are split column-wise into `num_heads` slices of d/num_heads,
+// attention runs per head under the same mask, the head outputs are
+// concatenated, and a learned output projection W_o mixes them (standard
+// multi-head attention; an optional extension over the paper, see the
+// ext_multihead bench). `weights` is the head-averaged attention matrix.
+class MaskedSelfAttention : public Module {
+ public:
+  MaskedSelfAttention(int dim, Rng& rng, int num_heads = 1);
+
+  // `x` is [t,d]; `mask` is a constant [t,t] tensor of {0, ops::kNegInf}.
+  AttentionResult Forward(const Tensor& x, const Tensor& mask) const;
+
+  void CollectParameters(std::vector<Tensor>* out) override;
+
+  const Linear& query() const { return query_; }
+  const Linear& key() const { return key_; }
+  const Linear& value() const { return value_; }
+  // Head-mixing projection; only defined when num_heads > 1.
+  const Linear* output_projection() const { return output_.get(); }
+  int dim() const { return dim_; }
+  int num_heads() const { return num_heads_; }
+  int head_dim() const { return dim_ / num_heads_; }
+
+ private:
+  int dim_;
+  int num_heads_;
+  Linear query_;
+  Linear key_;
+  Linear value_;
+  std::unique_ptr<Linear> output_;  // nullptr when num_heads == 1
+};
+
+// One encoder block: masked attention + FFN, each with residual + LayerNorm
+// and dropout.
+class AttentionBlock : public Module {
+ public:
+  AttentionBlock(int dim, int ffn_hidden_dim, float dropout, Rng& rng,
+                 int num_heads = 1);
+
+  AttentionResult Forward(const Tensor& x, const Tensor& mask, Rng& rng,
+                          bool training) const;
+
+  void CollectParameters(std::vector<Tensor>* out) override;
+
+  const MaskedSelfAttention& attention() const { return attention_; }
+  const FeedForward& ffn() const { return ffn_; }
+  const LayerNorm& norm_attention() const { return norm_attention_; }
+  const LayerNorm& norm_ffn() const { return norm_ffn_; }
+
+ private:
+  MaskedSelfAttention attention_;
+  FeedForward ffn_;
+  LayerNorm norm_attention_;
+  LayerNorm norm_ffn_;
+  float dropout_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_NN_ATTENTION_H_

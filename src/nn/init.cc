@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace kvec {
+namespace nn {
+
+Tensor XavierUniform(int rows, int cols, Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  Tensor t = Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.data()) {
+    v = static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor NormalInit(int rows, int cols, float stddev, Rng& rng) {
+  Tensor t = Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.data()) {
+    v = stddev * static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+Tensor ZeroInit(int rows, int cols) {
+  return Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+}
+
+}  // namespace nn
+}  // namespace kvec

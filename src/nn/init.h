@@ -1,0 +1,23 @@
+// Parameter initialisation schemes.
+#ifndef KVEC_NN_INIT_H_
+#define KVEC_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace nn {
+
+// Uniform(-a, a) with a = sqrt(6 / (fan_in + fan_out)) (Glorot & Bengio).
+Tensor XavierUniform(int rows, int cols, Rng& rng);
+
+// N(0, stddev^2) entries.
+Tensor NormalInit(int rows, int cols, float stddev, Rng& rng);
+
+// All-zero parameter (biases).
+Tensor ZeroInit(int rows, int cols);
+
+}  // namespace nn
+}  // namespace kvec
+
+#endif  // KVEC_NN_INIT_H_

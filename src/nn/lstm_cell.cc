@@ -1,0 +1,48 @@
+#include "nn/lstm_cell.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace kvec {
+
+LstmFusionCell::LstmFusionCell(int input_dim, int state_dim, Rng& rng)
+    : input_dim_(input_dim),
+      state_dim_(state_dim),
+      forget_gate_(input_dim + state_dim, state_dim, rng),
+      input_gate_(input_dim + state_dim, state_dim, rng),
+      output_gate_(input_dim + state_dim, state_dim, rng),
+      candidate_(input_dim + state_dim, state_dim, rng) {
+  KVEC_CHECK_GT(input_dim, 0);
+  KVEC_CHECK_GT(state_dim, 0);
+  // Standard LSTM trick: bias the forget gate open so early training does
+  // not erase the cell memory.
+  for (float& v : forget_gate_.bias().impl()->data) v = 1.0f;
+}
+
+LstmState LstmFusionCell::InitialState() const {
+  return {Tensor::Zeros(1, state_dim_), Tensor::Zeros(1, state_dim_)};
+}
+
+LstmState LstmFusionCell::Step(const LstmState& previous,
+                               const Tensor& input) const {
+  KVEC_CHECK(previous.defined());
+  KVEC_CHECK_EQ(input.cols(), input_dim_);
+  Tensor joined = ops::ConcatCols(previous.hidden, input);
+  Tensor forget = ops::Sigmoid(forget_gate_.Forward(joined));
+  Tensor in = ops::Sigmoid(input_gate_.Forward(joined));
+  Tensor out = ops::Sigmoid(output_gate_.Forward(joined));
+  Tensor candidate = ops::Tanh(candidate_.Forward(joined));
+  Tensor cell =
+      ops::Add(ops::Mul(forget, previous.cell), ops::Mul(in, candidate));
+  Tensor hidden = ops::Mul(out, ops::Tanh(cell));
+  return {hidden, cell};
+}
+
+void LstmFusionCell::CollectParameters(std::vector<Tensor>* out) {
+  forget_gate_.CollectParameters(out);
+  input_gate_.CollectParameters(out);
+  output_gate_.CollectParameters(out);
+  candidate_.CollectParameters(out);
+}
+
+}  // namespace kvec

@@ -1,0 +1,68 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kvec {
+
+std::vector<Tensor> Module::Parameters() {
+  std::vector<Tensor> params;
+  CollectParameters(&params);
+  return params;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& param : Parameters()) param.ZeroGrad();
+}
+
+int64_t Module::ParameterCount() {
+  int64_t total = 0;
+  for (const Tensor& param : Parameters()) total += param.size();
+  return total;
+}
+
+void Module::SaveParameters(BinaryWriter* writer) {
+  std::vector<Tensor> params = Parameters();
+  writer->WriteInt32(static_cast<int32_t>(params.size()));
+  for (const Tensor& param : params) {
+    writer->WriteInt32(param.rows());
+    writer->WriteInt32(param.cols());
+    writer->WriteFloatVector(param.data());
+  }
+}
+
+bool Module::LoadParameters(BinaryReader* reader) {
+  if (!reader->ok()) return false;
+  std::vector<Tensor> params = Parameters();
+  int32_t count = reader->ReadInt32();
+  if (count != static_cast<int32_t>(params.size())) return false;
+  for (Tensor& param : params) {
+    int32_t rows = reader->ReadInt32();
+    int32_t cols = reader->ReadInt32();
+    if (rows != param.rows() || cols != param.cols()) return false;
+    std::vector<float> values = reader->ReadFloatVector();
+    if (values.size() != param.data().size()) return false;
+    param.data() = std::move(values);
+  }
+  return true;
+}
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  KVEC_CHECK_GT(max_norm, 0.0);
+  double total_sq = 0.0;
+  for (const Tensor& param : params) {
+    for (float g : param.grad()) total_sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(total_sq);
+  if (norm > max_norm) {
+    float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const Tensor& param : params) {
+      auto& grad = param.impl()->grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace kvec

@@ -1,0 +1,46 @@
+// Base class for neural-network modules: a named parameter registry with
+// checkpoint save/load and gradient bookkeeping.
+#ifndef KVEC_NN_MODULE_H_
+#define KVEC_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/serialize.h"
+
+namespace kvec {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Appends this module's parameters (and those of its submodules) to `out`.
+  // The returned tensors alias the module's storage, so optimizer updates
+  // through them are visible to the module.
+  virtual void CollectParameters(std::vector<Tensor>* out) = 0;
+
+  std::vector<Tensor> Parameters();
+
+  // Zeroes the gradient buffers of all parameters.
+  void ZeroGrad();
+
+  // Total number of scalar parameters.
+  int64_t ParameterCount();
+
+  // Serialises parameter values (shapes included, order-dependent).
+  void SaveParameters(BinaryWriter* writer);
+
+  // Restores parameter values; returns false on shape mismatch or a
+  // malformed stream.
+  bool LoadParameters(BinaryReader* reader);
+};
+
+// Sum over parameters of the squared L2 gradient norm, then rescales all
+// gradients so their global norm is at most `max_norm`. Returns the norm
+// before clipping. A standard stabiliser for REINFORCE-style training.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace kvec
+
+#endif  // KVEC_NN_MODULE_H_

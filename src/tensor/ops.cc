@@ -1,0 +1,852 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace ops {
+namespace {
+
+using internal::MakeOpOutput;
+
+bool AnyRequiresGrad(std::initializer_list<const Tensor*> tensors) {
+  for (const Tensor* t : tensors) {
+    if (t->requires_grad()) return true;
+  }
+  return false;
+}
+
+// Row-wise softmax of `scores` (+ optional additive constant mask) shared by
+// Softmax / MaskedSoftmax / LogSoftmax forward passes.
+void SoftmaxForward(const std::vector<float>& scores, const float* mask,
+                    int rows, int cols, std::vector<float>& out) {
+  for (int r = 0; r < rows; ++r) {
+    const float* in_row = scores.data() + static_cast<size_t>(r) * cols;
+    const float* mask_row =
+        mask ? mask + static_cast<size_t>(r) * cols : nullptr;
+    float* out_row = out.data() + static_cast<size_t>(r) * cols;
+    float max_value = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < cols; ++c) {
+      float v = in_row[c] + (mask_row ? mask_row[c] : 0.0f);
+      out_row[c] = v;
+      max_value = std::max(max_value, v);
+    }
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      out_row[c] = std::exp(out_row[c] - max_value);
+      total += out_row[c];
+    }
+    KVEC_CHECK_GT(total, 0.0f) << "softmax over a fully masked row";
+    for (int c = 0; c < cols; ++c) out_row[c] /= total;
+  }
+}
+
+// dX for a softmax output Y with upstream dY: dx = y .* (dy - sum(dy .* y)).
+void SoftmaxBackwardRow(const float* y, const float* dy, int cols, float* dx) {
+  float dot = 0.0f;
+  for (int c = 0; c < cols; ++c) dot += dy[c] * y[c];
+  for (int c = 0; c < cols; ++c) dx[c] += y[c] * (dy[c] - dot);
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out = MakeOpOutput(m, n, {a.impl(), b.impl()}, needs_grad);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = pa[static_cast<size_t>(i) * k + p];
+      if (aip == 0.0f) continue;
+      const float* b_row = pb + static_cast<size_t>(p) * n;
+      float* o_row = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) o_row[j] += aip * b_row[j];
+    }
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io, m, k, n]() {
+      const float* dy = io->grad.data();
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        // dA = dY B^T
+        for (int i = 0; i < m; ++i) {
+          for (int p = 0; p < k; ++p) {
+            float acc = 0.0f;
+            const float* dy_row = dy + static_cast<size_t>(i) * n;
+            const float* b_row = ib->data.data() + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j) acc += dy_row[j] * b_row[j];
+            ia->grad[static_cast<size_t>(i) * k + p] += acc;
+          }
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        // dB = A^T dY
+        for (int p = 0; p < k; ++p) {
+          for (int i = 0; i < m; ++i) {
+            const float aip = ia->data[static_cast<size_t>(i) * k + p];
+            if (aip == 0.0f) continue;
+            const float* dy_row = dy + static_cast<size_t>(i) * n;
+            float* db_row = ib->grad.data() + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j) db_row[j] += aip * dy_row[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransposeB shape mismatch";
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out = MakeOpOutput(m, n, {a.impl(), b.impl()}, needs_grad);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = pa + static_cast<size_t>(i) * k;
+    float* o_row = po + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = pb + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      o_row[j] = acc;
+    }
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io, m, k, n]() {
+      const float* dy = io->grad.data();
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        // dA = dY B
+        for (int i = 0; i < m; ++i) {
+          const float* dy_row = dy + static_cast<size_t>(i) * n;
+          float* da_row = ia->grad.data() + static_cast<size_t>(i) * k;
+          for (int j = 0; j < n; ++j) {
+            const float g = dy_row[j];
+            if (g == 0.0f) continue;
+            const float* b_row = ib->data.data() + static_cast<size_t>(j) * k;
+            for (int p = 0; p < k; ++p) da_row[p] += g * b_row[p];
+          }
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        // dB = dY^T A
+        for (int j = 0; j < n; ++j) {
+          float* db_row = ib->grad.data() + static_cast<size_t>(j) * k;
+          for (int i = 0; i < m; ++i) {
+            const float g = dy[static_cast<size_t>(i) * n + j];
+            if (g == 0.0f) continue;
+            const float* a_row = ia->data.data() + static_cast<size_t>(i) * k;
+            for (int p = 0; p < k; ++p) db_row[p] += g * a_row[p];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(n, m, {a.impl()}, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.Set(j, i, a.At(i, j));
+  }
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, m, n]() {
+      ia->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          ia->grad[static_cast<size_t>(i) * n + j] +=
+              io->grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.rows(), b.rows());
+  KVEC_CHECK_EQ(a.cols(), b.cols());
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out =
+      MakeOpOutput(a.rows(), a.cols(), {a.impl(), b.impl()}, needs_grad);
+  for (int i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io]() {
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ia->grad[i] += io->grad[i];
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ib->grad[i] += io->grad[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.rows(), b.rows());
+  KVEC_CHECK_EQ(a.cols(), b.cols());
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out =
+      MakeOpOutput(a.rows(), a.cols(), {a.impl(), b.impl()}, needs_grad);
+  for (int i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io]() {
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ia->grad[i] += io->grad[i];
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ib->grad[i] -= io->grad[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.rows(), b.rows());
+  KVEC_CHECK_EQ(a.cols(), b.cols());
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out =
+      MakeOpOutput(a.rows(), a.cols(), {a.impl(), b.impl()}, needs_grad);
+  for (int i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io]() {
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ia->grad[i] += io->grad[i] * ib->data[i];
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ib->grad[i] += io->grad[i] * ia->data[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor AddRow(const Tensor& a, const Tensor& bias) {
+  KVEC_CHECK_EQ(bias.rows(), 1);
+  KVEC_CHECK_EQ(a.cols(), bias.cols());
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = AnyRequiresGrad({&a, &bias});
+  Tensor out = MakeOpOutput(m, n, {a.impl(), bias.impl()}, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.data()[static_cast<size_t>(i) * n + j] =
+          a.data()[static_cast<size_t>(i) * n + j] + bias.data()[j];
+    }
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = bias.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io, m, n]() {
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          ia->grad[i] += io->grad[i];
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            ib->grad[j] += io->grad[static_cast<size_t>(i) * n + j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Affine(const Tensor& a, float scale, float shift) {
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(a.rows(), a.cols(), {a.impl()}, needs_grad);
+  for (int i = 0; i < a.size(); ++i) {
+    out.data()[i] = scale * a.data()[i] + shift;
+  }
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, scale]() {
+      ia->EnsureGrad();
+      for (size_t i = 0; i < io->grad.size(); ++i) {
+        ia->grad[i] += scale * io->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor AddN(const std::vector<Tensor>& tensors) {
+  KVEC_CHECK(!tensors.empty());
+  const int m = tensors[0].rows(), n = tensors[0].cols();
+  bool needs_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  parents.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    KVEC_CHECK_EQ(t.rows(), m);
+    KVEC_CHECK_EQ(t.cols(), n);
+    needs_grad = needs_grad || t.requires_grad();
+    parents.push_back(t.impl());
+  }
+  Tensor out = MakeOpOutput(m, n, parents, needs_grad);
+  for (const Tensor& t : tensors) {
+    for (int i = 0; i < t.size(); ++i) out.data()[i] += t.data()[i];
+  }
+  if (needs_grad) {
+    TensorImpl* io = out.impl().get();
+    auto impls = out.impl()->parents;
+    out.impl()->backward_fn = [io, impls]() {
+      for (const auto& parent : impls) {
+        if (!parent->requires_grad) continue;
+        parent->EnsureGrad();
+        for (size_t i = 0; i < io->grad.size(); ++i) {
+          parent->grad[i] += io->grad[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  KVEC_CHECK_EQ(a.rows(), b.rows());
+  const int m = a.rows(), na = a.cols(), nb = b.cols();
+  bool needs_grad = AnyRequiresGrad({&a, &b});
+  Tensor out = MakeOpOutput(m, na + nb, {a.impl(), b.impl()}, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < na; ++j) out.Set(i, j, a.At(i, j));
+    for (int j = 0; j < nb; ++j) out.Set(i, na + j, b.At(i, j));
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ib = b.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ib, io, m, na, nb]() {
+      const int n = na + nb;
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < na; ++j) {
+            ia->grad[static_cast<size_t>(i) * na + j] +=
+                io->grad[static_cast<size_t>(i) * n + j];
+          }
+        }
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < nb; ++j) {
+            ib->grad[static_cast<size_t>(i) * nb + j] +=
+                io->grad[static_cast<size_t>(i) * n + na + j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  KVEC_CHECK(!rows.empty());
+  const int n = rows[0].cols();
+  bool needs_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  parents.reserve(rows.size());
+  for (const Tensor& row : rows) {
+    KVEC_CHECK_EQ(row.rows(), 1);
+    KVEC_CHECK_EQ(row.cols(), n);
+    needs_grad = needs_grad || row.requires_grad();
+    parents.push_back(row.impl());
+  }
+  const int m = static_cast<int>(rows.size());
+  Tensor out = MakeOpOutput(m, n, parents, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.Set(i, j, rows[i].At(0, j));
+  }
+  if (needs_grad) {
+    TensorImpl* io = out.impl().get();
+    auto impls = out.impl()->parents;
+    out.impl()->backward_fn = [io, impls, n]() {
+      for (size_t i = 0; i < impls.size(); ++i) {
+        if (!impls[i]->requires_grad) continue;
+        impls[i]->EnsureGrad();
+        for (int j = 0; j < n; ++j) {
+          impls[i]->grad[j] += io->grad[i * n + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceRow(const Tensor& a, int row) { return SliceRows(a, row, row + 1); }
+
+Tensor SliceRows(const Tensor& a, int begin, int end) {
+  KVEC_CHECK_GE(begin, 0);
+  KVEC_CHECK_LT(begin, end);
+  KVEC_CHECK_LE(end, a.rows());
+  const int n = a.cols(), m = end - begin;
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(m, n, {a.impl()}, needs_grad);
+  std::copy(a.data().begin() + static_cast<size_t>(begin) * n,
+            a.data().begin() + static_cast<size_t>(end) * n,
+            out.data().begin());
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, begin, m, n]() {
+      ia->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          ia->grad[static_cast<size_t>(begin + i) * n + j] +=
+              io->grad[static_cast<size_t>(i) * n + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int begin, int end) {
+  KVEC_CHECK_GE(begin, 0);
+  KVEC_CHECK_LT(begin, end);
+  KVEC_CHECK_LE(end, a.cols());
+  const int m = a.rows(), n = a.cols(), w = end - begin;
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(m, w, {a.impl()}, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    std::copy(a.data().begin() + static_cast<size_t>(i) * n + begin,
+              a.data().begin() + static_cast<size_t>(i) * n + end,
+              out.data().begin() + static_cast<size_t>(i) * w);
+  }
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, begin, m, n, w]() {
+      ia->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < w; ++j) {
+          ia->grad[static_cast<size_t>(i) * n + begin + j] +=
+              io->grad[static_cast<size_t>(i) * w + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseOp(const Tensor& a, Fwd forward, Bwd backward_from_output) {
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(a.rows(), a.cols(), {a.impl()}, needs_grad);
+  for (int i = 0; i < a.size(); ++i) out.data()[i] = forward(a.data()[i]);
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, backward_from_output]() {
+      ia->EnsureGrad();
+      for (size_t i = 0; i < io->grad.size(); ++i) {
+        ia->grad[i] +=
+            io->grad[i] * backward_from_output(io->data[i], ia->data[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float y, float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return ElementwiseOp(
+      a,
+      [](float x) {
+        return 0.5f * x * (1.0f + std::tanh(kC * (x + kA * x * x * x)));
+      },
+      [](float y, float x) {
+        const float u = kC * (x + kA * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * kA * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y, float x) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float y, float x) { return 1.0f - y * y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return ElementwiseOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float y, float x) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(m, n, {a.impl()}, needs_grad);
+  SoftmaxForward(a.data(), nullptr, m, n, out.data());
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, m, n]() {
+      ia->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        SoftmaxBackwardRow(io->data.data() + static_cast<size_t>(r) * n,
+                           io->grad.data() + static_cast<size_t>(r) * n, n,
+                           ia->grad.data() + static_cast<size_t>(r) * n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
+  KVEC_CHECK_EQ(a.rows(), mask.rows());
+  KVEC_CHECK_EQ(a.cols(), mask.cols());
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(m, n, {a.impl()}, needs_grad);
+  SoftmaxForward(a.data(), mask.data().data(), m, n, out.data());
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, m, n]() {
+      ia->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        SoftmaxBackwardRow(io->data.data() + static_cast<size_t>(r) * n,
+                           io->grad.data() + static_cast<size_t>(r) * n, n,
+                           ia->grad.data() + static_cast<size_t>(r) * n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(m, n, {a.impl()}, needs_grad);
+  // log softmax = x - max - log(sum exp(x - max))
+  for (int r = 0; r < m; ++r) {
+    const float* in_row = a.data().data() + static_cast<size_t>(r) * n;
+    float* out_row = out.data().data() + static_cast<size_t>(r) * n;
+    float max_value = *std::max_element(in_row, in_row + n);
+    float total = 0.0f;
+    for (int c = 0; c < n; ++c) total += std::exp(in_row[c] - max_value);
+    float log_total = std::log(total);
+    for (int c = 0; c < n; ++c) {
+      out_row[c] = in_row[c] - max_value - log_total;
+    }
+  }
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, m, n]() {
+      ia->EnsureGrad();
+      for (int r = 0; r < m; ++r) {
+        const float* y = io->data.data() + static_cast<size_t>(r) * n;
+        const float* dy = io->grad.data() + static_cast<size_t>(r) * n;
+        float* dx = ia->grad.data() + static_cast<size_t>(r) * n;
+        float total_dy = 0.0f;
+        for (int c = 0; c < n; ++c) total_dy += dy[c];
+        for (int c = 0; c < n; ++c) {
+          dx[c] += dy[c] - std::exp(y[c]) * total_dy;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  KVEC_CHECK_GE(p, 0.0f);
+  KVEC_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(a.rows(), a.cols(), {a.impl()}, needs_grad);
+  auto mask = std::make_shared<std::vector<float>>(a.size());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (int i = 0; i < a.size(); ++i) {
+    (*mask)[i] = rng.NextBernoulli(p) ? 0.0f : keep_scale;
+    out.data()[i] = a.data()[i] * (*mask)[i];
+  }
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io, mask]() {
+      ia->EnsureGrad();
+      for (size_t i = 0; i < io->grad.size(); ++i) {
+        ia->grad[i] += io->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  KVEC_CHECK_EQ(gamma.rows(), 1);
+  KVEC_CHECK_EQ(beta.rows(), 1);
+  KVEC_CHECK_EQ(gamma.cols(), a.cols());
+  KVEC_CHECK_EQ(beta.cols(), a.cols());
+  const int m = a.rows(), n = a.cols();
+  bool needs_grad = AnyRequiresGrad({&a, &gamma, &beta});
+  Tensor out =
+      MakeOpOutput(m, n, {a.impl(), gamma.impl(), beta.impl()}, needs_grad);
+  // Cache the normalised activations and 1/std per row for the backward pass.
+  auto normalized = std::make_shared<std::vector<float>>(a.size());
+  auto inv_std = std::make_shared<std::vector<float>>(m);
+  for (int r = 0; r < m; ++r) {
+    const float* x = a.data().data() + static_cast<size_t>(r) * n;
+    float mean = 0.0f;
+    for (int c = 0; c < n; ++c) mean += x[c];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int c = 0; c < n; ++c) var += (x[c] - mean) * (x[c] - mean);
+    var /= static_cast<float>(n);
+    float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[r] = istd;
+    for (int c = 0; c < n; ++c) {
+      float xhat = (x[c] - mean) * istd;
+      (*normalized)[static_cast<size_t>(r) * n + c] = xhat;
+      out.data()[static_cast<size_t>(r) * n + c] =
+          gamma.data()[c] * xhat + beta.data()[c];
+    }
+  }
+  if (needs_grad) {
+    auto ia = a.impl(), ig = gamma.impl(), ib = beta.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, ig, ib, io, normalized, inv_std, m, n]() {
+      for (int r = 0; r < m; ++r) {
+      const float* dy = io->grad.data() + static_cast<size_t>(r) * n;
+      const float* xhat = normalized->data() + static_cast<size_t>(r) * n;
+      if (ig->requires_grad) {
+        ig->EnsureGrad();
+        for (int c = 0; c < n; ++c) ig->grad[c] += dy[c] * xhat[c];
+      }
+      if (ib->requires_grad) {
+        ib->EnsureGrad();
+        for (int c = 0; c < n; ++c) ib->grad[c] += dy[c];
+      }
+      if (ia->requires_grad) {
+        ia->EnsureGrad();
+        // dxhat = dy * gamma; dx = istd*(dxhat - mean(dxhat)
+        //                               - xhat*mean(dxhat*xhat))
+        float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
+        for (int c = 0; c < n; ++c) {
+          float dxh = dy[c] * ig->data[c];
+          mean_dxhat += dxh;
+          mean_dxhat_xhat += dxh * xhat[c];
+        }
+        mean_dxhat /= static_cast<float>(n);
+        mean_dxhat_xhat /= static_cast<float>(n);
+        float* dx = ia->grad.data() + static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) {
+          float dxh = dy[c] * ig->data[c];
+          dx[c] += (*inv_std)[r] *
+                   (dxh - mean_dxhat - xhat[c] * mean_dxhat_xhat);
+        }
+      }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& indices) {
+  KVEC_CHECK(!indices.empty());
+  const int vocab = table.rows(), d = table.cols();
+  const int m = static_cast<int>(indices.size());
+  bool needs_grad = table.requires_grad();
+  Tensor out = MakeOpOutput(m, d, {table.impl()}, needs_grad);
+  for (int i = 0; i < m; ++i) {
+    KVEC_CHECK_GE(indices[i], 0);
+    KVEC_CHECK_LT(indices[i], vocab) << "embedding index out of range";
+    std::copy(table.data().begin() + static_cast<size_t>(indices[i]) * d,
+              table.data().begin() + static_cast<size_t>(indices[i] + 1) * d,
+              out.data().begin() + static_cast<size_t>(i) * d);
+  }
+  if (needs_grad) {
+    auto it = table.impl();
+    TensorImpl* io = out.impl().get();
+    auto idx = std::make_shared<std::vector<int>>(indices);
+    out.impl()->backward_fn = [it, io, idx, d]() {
+      it->EnsureGrad();
+      for (size_t i = 0; i < idx->size(); ++i) {
+        for (int c = 0; c < d; ++c) {
+          it->grad[static_cast<size_t>((*idx)[i]) * d + c] +=
+              io->grad[i * d + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  bool needs_grad = a.requires_grad();
+  Tensor out = MakeOpOutput(1, 1, {a.impl()}, needs_grad);
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  out.data()[0] = total;
+  if (needs_grad) {
+    auto ia = a.impl();
+    TensorImpl* io = out.impl().get();
+    out.impl()->backward_fn = [ia, io]() {
+      ia->EnsureGrad();
+      for (float& g : ia->grad) g += io->grad[0];
+    };
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return Affine(SumAll(a), 1.0f / static_cast<float>(a.size()), 0.0f);
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& labels) {
+  KVEC_CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
+  const int m = logits.rows(), n = logits.cols();
+  bool needs_grad = logits.requires_grad();
+  Tensor out = MakeOpOutput(1, 1, {logits.impl()}, needs_grad);
+  auto probs = std::make_shared<std::vector<float>>(logits.size());
+  SoftmaxForward(logits.data(), nullptr, m, n, *probs);
+  float loss = 0.0f;
+  for (int r = 0; r < m; ++r) {
+    KVEC_CHECK_GE(labels[r], 0);
+    KVEC_CHECK_LT(labels[r], n) << "label out of range";
+    loss -= std::log(
+        std::max((*probs)[static_cast<size_t>(r) * n + labels[r]], 1e-12f));
+  }
+  out.data()[0] = loss;
+  if (needs_grad) {
+    auto il = logits.impl();
+    TensorImpl* io = out.impl().get();
+    auto labels_copy = std::make_shared<std::vector<int>>(labels);
+    out.impl()->backward_fn = [il, io, probs, labels_copy, m, n]() {
+      il->EnsureGrad();
+      const float g = io->grad[0];
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+          float delta = (c == (*labels_copy)[r]) ? 1.0f : 0.0f;
+          il->grad[static_cast<size_t>(r) * n + c] +=
+              g * ((*probs)[static_cast<size_t>(r) * n + c] - delta);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& targets) {
+  KVEC_CHECK_EQ(pred.cols(), 1);
+  KVEC_CHECK_EQ(static_cast<size_t>(pred.rows()), targets.size());
+  const int m = pred.rows();
+  bool needs_grad = pred.requires_grad();
+  Tensor out = MakeOpOutput(1, 1, {pred.impl()}, needs_grad);
+  float loss = 0.0f;
+  for (int r = 0; r < m; ++r) {
+    float diff = pred.data()[r] - targets[r];
+    loss += diff * diff;
+  }
+  out.data()[0] = loss / static_cast<float>(m);
+  if (needs_grad) {
+    auto ip = pred.impl();
+    TensorImpl* io = out.impl().get();
+    auto targets_copy = std::make_shared<std::vector<float>>(targets);
+    out.impl()->backward_fn = [ip, io, targets_copy, m]() {
+      ip->EnsureGrad();
+      const float g = io->grad[0] * 2.0f / static_cast<float>(m);
+      for (int r = 0; r < m; ++r) {
+        ip->grad[r] += g * (ip->data[r] - (*targets_copy)[r]);
+      }
+    };
+  }
+  return out;
+}
+
+int ArgMaxRow(const Tensor& a, int row) {
+  KVEC_CHECK_GE(row, 0);
+  KVEC_CHECK_LT(row, a.rows());
+  int best = 0;
+  float best_value = a.At(row, 0);
+  for (int c = 1; c < a.cols(); ++c) {
+    if (a.At(row, c) > best_value) {
+      best_value = a.At(row, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ops
+}  // namespace kvec

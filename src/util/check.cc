@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kvec {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << file << ":" << line << ": check failed: " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace kvec

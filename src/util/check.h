@@ -1,0 +1,56 @@
+// Lightweight assertion macros used throughout the library.
+//
+// The library does not use exceptions (matching the Google C++ style this
+// project follows); violated invariants abort with a source location and a
+// human-readable message streamed by the caller:
+//
+//   KVEC_CHECK(n > 0) << "need a positive count, got " << n;
+//
+// KVEC_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#ifndef KVEC_UTIL_CHECK_H_
+#define KVEC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace kvec {
+namespace internal {
+
+// Collects the streamed message and aborts the process in its destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kvec
+
+#define KVEC_CHECK(condition)                                            \
+  if (condition) {                                                       \
+  } else /* NOLINT */                                                    \
+    ::kvec::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define KVEC_CHECK_EQ(a, b) KVEC_CHECK((a) == (b))
+#define KVEC_CHECK_NE(a, b) KVEC_CHECK((a) != (b))
+#define KVEC_CHECK_LT(a, b) KVEC_CHECK((a) < (b))
+#define KVEC_CHECK_LE(a, b) KVEC_CHECK((a) <= (b))
+#define KVEC_CHECK_GT(a, b) KVEC_CHECK((a) > (b))
+#define KVEC_CHECK_GE(a, b) KVEC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KVEC_DCHECK(condition) KVEC_CHECK(true)
+#else
+#define KVEC_DCHECK(condition) KVEC_CHECK(condition)
+#endif
+
+#endif  // KVEC_UTIL_CHECK_H_

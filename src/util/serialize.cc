@@ -1,0 +1,152 @@
+#include "util/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+// Tags guard against reading a value as the wrong kind.
+constexpr int32_t kTagInt32 = 0x4b561001;
+constexpr int32_t kTagInt64 = 0x4b561002;
+constexpr int32_t kTagFloat = 0x4b561003;
+constexpr int32_t kTagString = 0x4b561004;
+constexpr int32_t kTagFloatVec = 0x4b561005;
+constexpr int32_t kTagIntVec = 0x4b561006;
+
+}  // namespace
+
+void BinaryWriter::Append(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::WriteInt32(int32_t value) {
+  Append(&kTagInt32, sizeof(kTagInt32));
+  Append(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteInt64(int64_t value) {
+  Append(&kTagInt64, sizeof(kTagInt64));
+  Append(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteFloat(float value) {
+  Append(&kTagFloat, sizeof(kTagFloat));
+  Append(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  Append(&kTagString, sizeof(kTagString));
+  int64_t size = static_cast<int64_t>(value.size());
+  Append(&size, sizeof(size));
+  Append(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  Append(&kTagFloatVec, sizeof(kTagFloatVec));
+  int64_t size = static_cast<int64_t>(values.size());
+  Append(&size, sizeof(size));
+  Append(values.data(), values.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteIntVector(const std::vector<int>& values) {
+  Append(&kTagIntVec, sizeof(kTagIntVec));
+  int64_t size = static_cast<int64_t>(values.size());
+  Append(&size, sizeof(size));
+  Append(values.data(), values.size() * sizeof(int));
+}
+
+bool BinaryWriter::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  return static_cast<bool>(out);
+}
+
+BinaryReader::BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+BinaryReader BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    BinaryReader reader{std::string()};
+    reader.ok_ = false;
+    return reader;
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return BinaryReader(std::move(contents));
+}
+
+void BinaryReader::Consume(void* data, size_t size) {
+  KVEC_CHECK(ok_) << "read from a failed reader";
+  KVEC_CHECK_LE(position_ + size, buffer_.size()) << "truncated buffer";
+  std::memcpy(data, buffer_.data() + position_, size);
+  position_ += size;
+}
+
+int32_t BinaryReader::ReadInt32() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagInt32) << "type mismatch reading int32";
+  int32_t value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+int64_t BinaryReader::ReadInt64() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagInt64) << "type mismatch reading int64";
+  int64_t value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+float BinaryReader::ReadFloat() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagFloat) << "type mismatch reading float";
+  float value = 0;
+  Consume(&value, sizeof(value));
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagString) << "type mismatch reading string";
+  int64_t size = 0;
+  Consume(&size, sizeof(size));
+  KVEC_CHECK_GE(size, 0);
+  std::string value(static_cast<size_t>(size), '\0');
+  Consume(value.data(), value.size());
+  return value;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagFloatVec) << "type mismatch reading float vector";
+  int64_t size = 0;
+  Consume(&size, sizeof(size));
+  KVEC_CHECK_GE(size, 0);
+  std::vector<float> values(static_cast<size_t>(size));
+  Consume(values.data(), values.size() * sizeof(float));
+  return values;
+}
+
+std::vector<int> BinaryReader::ReadIntVector() {
+  int32_t tag = 0;
+  Consume(&tag, sizeof(tag));
+  KVEC_CHECK_EQ(tag, kTagIntVec) << "type mismatch reading int vector";
+  int64_t size = 0;
+  Consume(&size, sizeof(size));
+  KVEC_CHECK_GE(size, 0);
+  std::vector<int> values(static_cast<size_t>(size));
+  Consume(values.data(), values.size() * sizeof(int));
+  return values;
+}
+
+}  // namespace kvec

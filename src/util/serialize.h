@@ -1,0 +1,62 @@
+// Minimal binary serialisation for model checkpoints.
+//
+// Format: little-endian, length-prefixed. Writers/readers are symmetric and
+// validated by a magic tag per value kind so that truncated or mismatched
+// files fail loudly instead of producing garbage parameters.
+#ifndef KVEC_UTIL_SERIALIZE_H_
+#define KVEC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kvec {
+
+class BinaryWriter {
+ public:
+  void WriteInt32(int32_t value);
+  void WriteInt64(int64_t value);
+  void WriteFloat(float value);
+  void WriteString(const std::string& value);
+  void WriteFloatVector(const std::vector<float>& values);
+  void WriteIntVector(const std::vector<int>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  // Writes the buffer to `path`. Returns false on I/O failure.
+  bool SaveToFile(const std::string& path) const;
+
+ private:
+  void Append(const void* data, size_t size);
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer);
+
+  // Creates a reader over the contents of `path`; `ok()` reports whether the
+  // file could be read.
+  static BinaryReader FromFile(const std::string& path);
+
+  int32_t ReadInt32();
+  int64_t ReadInt64();
+  float ReadFloat();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+  std::vector<int> ReadIntVector();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+ private:
+  void Consume(void* data, size_t size);
+
+  std::string buffer_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_UTIL_SERIALIZE_H_

@@ -1,0 +1,42 @@
+// Plain-text / CSV table rendering for the benchmark harness.
+//
+// Every figure- or table-reproducing binary prints its result through a
+// `Table`, which renders an aligned text table to stdout and can also be
+// saved as CSV (used by the sweep cache).
+#ifndef KVEC_UTIL_TABLE_H_
+#define KVEC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kvec {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string FormatDouble(double value, int precision = 3);
+
+  // Renders an aligned text table.
+  std::string ToText() const;
+
+  // Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  // Parses a CSV produced by ToCsv(). Returns false on malformed input.
+  static bool FromCsv(const std::string& csv, Table* table);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_UTIL_TABLE_H_

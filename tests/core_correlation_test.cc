@@ -1,0 +1,249 @@
+#include "core/correlation.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace {
+
+Item MakeItem(int key, int session_value, int other = 0) {
+  Item item;
+  item.key = key;
+  item.value = {other, session_value};
+  return item;
+}
+
+CorrelationOptions Options(bool key_corr = true, bool value_corr = true,
+                           int window = 64) {
+  CorrelationOptions options;
+  options.use_key_correlation = key_corr;
+  options.use_value_correlation = value_corr;
+  options.value_correlation_window = window;
+  options.session_field = 1;
+  return options;
+}
+
+TEST(CorrelationTrackerTest, KeyCorrelationSeesAllPriorSameKeyItems) {
+  CorrelationTracker tracker(Options(true, false));
+  EXPECT_TRUE(tracker.ObserveItem(MakeItem(0, 1)).empty());
+  EXPECT_TRUE(tracker.ObserveItem(MakeItem(1, 1)).empty());
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(0, 2));
+  EXPECT_EQ(visible, (std::vector<int>{0}));
+  visible = tracker.ObserveItem(MakeItem(0, 3));
+  EXPECT_EQ(visible, (std::vector<int>{0, 2}));
+}
+
+TEST(CorrelationTrackerTest, ValueCorrelationMatchesOpenSession) {
+  // Paper Fig. 2 example: e_t value-correlates with another key's open
+  // session when the session-field values agree.
+  CorrelationTracker tracker(Options(false, true));
+  tracker.ObserveItem(MakeItem(0, 7));  // index 0: key0 session {7}
+  tracker.ObserveItem(MakeItem(0, 7));  // index 1: same session
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(1, 7));
+  std::set<int> got(visible.begin(), visible.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1}));
+}
+
+TEST(CorrelationTrackerTest, ValueCorrelationIgnoresMismatchedValue) {
+  CorrelationTracker tracker(Options(false, true));
+  tracker.ObserveItem(MakeItem(0, 7));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(1, 8));
+  EXPECT_TRUE(visible.empty());
+}
+
+TEST(CorrelationTrackerTest, ClosedSessionIsNotJoinable) {
+  CorrelationTracker tracker(Options(false, true));
+  tracker.ObserveItem(MakeItem(0, 7));  // index 0
+  tracker.ObserveItem(MakeItem(0, 9));  // index 1: key0's session is now {9}
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(1, 7));
+  EXPECT_TRUE(visible.empty());  // the {7} session of key0 is closed
+}
+
+TEST(CorrelationTrackerTest, RecencyWindowEnforced) {
+  CorrelationTracker tracker(Options(false, true, /*window=*/2));
+  tracker.ObserveItem(MakeItem(0, 7));  // index 0
+  tracker.ObserveItem(MakeItem(2, 5));  // index 1 (filler)
+  tracker.ObserveItem(MakeItem(2, 5));  // index 2 (filler)
+  // Key0's open session last item is index 0; gap is 3 > window 2.
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(1, 7));
+  EXPECT_TRUE(visible.empty());
+}
+
+TEST(CorrelationTrackerTest, SameKeyNotReportedAsValueCorrelation) {
+  CorrelationTracker tracker(Options(false, true));
+  tracker.ObserveItem(MakeItem(0, 7));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(0, 7));
+  EXPECT_TRUE(visible.empty());  // own key handled by key correlation only
+}
+
+TEST(CorrelationTrackerTest, BothCorrelationsCombine) {
+  CorrelationTracker tracker(Options(true, true));
+  tracker.ObserveItem(MakeItem(0, 7));  // 0
+  tracker.ObserveItem(MakeItem(1, 7));  // 1: value-correlated with 0
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(1, 7));  // 2
+  std::set<int> got(visible.begin(), visible.end());
+  // key corr -> {1}; value corr -> key0's open session {0}.
+  EXPECT_EQ(got, (std::set<int>{0, 1}));
+}
+
+TEST(CorrelationTrackerTest, SelectiveCapKeepsMostRecentMatches) {
+  CorrelationOptions options = Options(/*key_corr=*/false);
+  options.max_value_correlations = 2;
+  CorrelationTracker tracker(options);
+  // Keys 0..3 each open a session with value 7 (stream positions 0..3);
+  // the item of key 9 matches all four but may only see the last two.
+  tracker.ObserveItem(MakeItem(0, 7));
+  tracker.ObserveItem(MakeItem(1, 7));
+  tracker.ObserveItem(MakeItem(2, 7));
+  tracker.ObserveItem(MakeItem(3, 7));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(9, 7));
+  EXPECT_EQ(visible, (std::vector<int>{2, 3}));
+}
+
+TEST(CorrelationTrackerTest, SelectiveCapZeroMeansUnlimited) {
+  CorrelationOptions options = Options(/*key_corr=*/false);
+  options.max_value_correlations = 0;
+  CorrelationTracker tracker(options);
+  for (int key = 0; key < 5; ++key) tracker.ObserveItem(MakeItem(key, 7));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(9, 7));
+  EXPECT_EQ(visible.size(), 5u);
+}
+
+TEST(CorrelationTrackerTest, SelectiveCapDoesNotLimitKeyCorrelation) {
+  CorrelationOptions options = Options();
+  options.max_value_correlations = 1;
+  CorrelationTracker tracker(options);
+  // Five same-key items: all stay visible (key correlation is never capped).
+  for (int i = 0; i < 5; ++i) tracker.ObserveItem(MakeItem(0, i));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(0, 99));
+  EXPECT_EQ(visible.size(), 5u);
+}
+
+TEST(CorrelationTrackerTest, SelectiveCapCountsItemsNotSessions) {
+  CorrelationOptions options = Options(/*key_corr=*/false);
+  options.max_value_correlations = 3;
+  CorrelationTracker tracker(options);
+  // One other key with a 5-item open session of value 7: the cap limits the
+  // *items* of that session, keeping the most recent three.
+  for (int i = 0; i < 5; ++i) tracker.ObserveItem(MakeItem(1, 7));
+  std::vector<int> visible = tracker.ObserveItem(MakeItem(9, 7));
+  EXPECT_EQ(visible, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(BuildEpisodeMaskTest, SelectiveMaskIsSubsetOfUnlimitedMask) {
+  TangledSequence episode;
+  Rng rng(5);
+  for (int t = 0; t < 40; ++t) {
+    Item item;
+    item.key = rng.NextInt(4);
+    item.value = {0, rng.NextInt(3)};
+    episode.items.push_back(item);
+  }
+  for (int key = 0; key < 4; ++key) episode.labels[key] = 0;
+  CorrelationOptions unlimited = Options();
+  CorrelationOptions capped = Options();
+  capped.max_value_correlations = 2;
+  EpisodeMask full = BuildEpisodeMask(episode, unlimited);
+  EpisodeMask selective = BuildEpisodeMask(episode, capped);
+  const int total = static_cast<int>(episode.items.size());
+  for (int i = 0; i < total; ++i) {
+    for (int j = 0; j < total; ++j) {
+      if (selective.mask.At(i, j) == 0.0f) {
+        EXPECT_EQ(full.mask.At(i, j), 0.0f)
+            << "capped mask visible at (" << i << "," << j
+            << ") but unlimited mask is not";
+      }
+    }
+  }
+}
+
+TEST(BuildEpisodeMaskTest, DiagonalAlwaysVisible) {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  episode.labels[1] = 0;
+  for (int i = 0; i < 5; ++i) {
+    episode.items.push_back(MakeItem(i % 2, i));
+    episode.items.back().time = i;
+  }
+  EpisodeMask mask = BuildEpisodeMask(episode, Options());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(mask.mask.At(i, i), 0.0f);
+}
+
+TEST(BuildEpisodeMaskTest, CausalityNoFutureVisibility) {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  for (int i = 0; i < 6; ++i) {
+    episode.items.push_back(MakeItem(0, 3));  // all one session
+    episode.items.back().time = i;
+  }
+  EpisodeMask mask = BuildEpisodeMask(episode, Options());
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      EXPECT_EQ(mask.mask.At(i, j), ops::kNegInf)
+          << "future item visible at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(BuildEpisodeMaskTest, MatchesTrackerVisibility) {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  episode.labels[1] = 0;
+  episode.labels[2] = 0;
+  Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    episode.items.push_back(MakeItem(rng.NextInt(3), rng.NextInt(2)));
+    episode.items.back().time = i;
+  }
+  CorrelationOptions options = Options();
+  EpisodeMask mask = BuildEpisodeMask(episode, options);
+  CorrelationTracker tracker(options);
+  for (int i = 0; i < 40; ++i) {
+    std::set<int> expected;
+    for (int j : tracker.ObserveItem(episode.items[i])) expected.insert(j);
+    expected.insert(i);
+    for (int j = 0; j < 40; ++j) {
+      bool visible = mask.mask.At(i, j) == 0.0f;
+      EXPECT_EQ(visible, expected.count(j) > 0)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(BuildEpisodeMaskTest, KeyOnlyMaskIsBlockCausal) {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  episode.labels[1] = 0;
+  for (int i = 0; i < 8; ++i) {
+    episode.items.push_back(MakeItem(i % 2, i));  // distinct session values
+    episode.items.back().time = i;
+  }
+  EpisodeMask mask = BuildEpisodeMask(episode, Options(true, false));
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < i; ++j) {
+      bool same_key = (i % 2) == (j % 2);
+      EXPECT_EQ(mask.mask.At(i, j) == 0.0f, same_key);
+    }
+  }
+}
+
+TEST(BuildEpisodeMaskTest, NoCorrelationsLeavesOnlyDiagonal) {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  for (int i = 0; i < 4; ++i) {
+    episode.items.push_back(MakeItem(0, 3));
+    episode.items.back().time = i;
+  }
+  EpisodeMask mask = BuildEpisodeMask(episode, Options(false, false));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(mask.mask.At(i, j) == 0.0f, i == j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kvec

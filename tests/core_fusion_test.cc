@@ -1,0 +1,242 @@
+#include "core/fusion.h"
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace kvec {
+namespace {
+
+KvecConfig FusionConfig(KvecConfig::FusionKind kind) {
+  KvecConfig config;
+  config.embed_dim = 4;
+  config.state_dim = 6;
+  config.fusion = kind;
+  config.spec.num_classes = 2;
+  return config;
+}
+
+Tensor Row(std::vector<float> values) {
+  const int cols = static_cast<int>(values.size());
+  return Tensor::FromData(1, cols, std::move(values));
+}
+
+TEST(EmbeddingFusionTest, LstmOutputsStateDim) {
+  Rng rng(1);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kLstm), rng);
+  EXPECT_EQ(fusion.output_dim(), 6);
+  ASSERT_NE(fusion.lstm(), nullptr);
+  FusionState state = fusion.InitialState();
+  state = fusion.Step(state, Row({1, 2, 3, 4}));
+  EXPECT_EQ(state.hidden.cols(), 6);
+  EXPECT_EQ(state.count, 1);
+}
+
+TEST(EmbeddingFusionTest, ParameterFreeModesHaveNoParameters) {
+  for (auto kind :
+       {KvecConfig::FusionKind::kSum, KvecConfig::FusionKind::kMean,
+        KvecConfig::FusionKind::kLast}) {
+    Rng rng(2);
+    EmbeddingFusion fusion(FusionConfig(kind), rng);
+    EXPECT_EQ(fusion.ParameterCount(), 0);
+    EXPECT_EQ(fusion.output_dim(), 4);
+    EXPECT_EQ(fusion.lstm(), nullptr);
+  }
+}
+
+TEST(EmbeddingFusionTest, SumAccumulates) {
+  Rng rng(3);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kSum), rng);
+  FusionState state = fusion.InitialState();
+  state = fusion.Step(state, Row({1, 0, 0, 2}));
+  state = fusion.Step(state, Row({2, 1, 0, -1}));
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 3), 1.0f);
+  EXPECT_EQ(state.count, 2);
+}
+
+TEST(EmbeddingFusionTest, MeanIsRunningAverage) {
+  Rng rng(4);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kMean), rng);
+  FusionState state = fusion.InitialState();
+  state = fusion.Step(state, Row({4, 0, 0, 0}));
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 0), 4.0f);
+  state = fusion.Step(state, Row({0, 2, 0, 0}));
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 1), 1.0f);
+  state = fusion.Step(state, Row({2, 1, 3, 0}));
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 2), 1.0f);
+}
+
+TEST(EmbeddingFusionTest, LastKeepsOnlyNewestItem) {
+  Rng rng(5);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kLast), rng);
+  FusionState state = fusion.InitialState();
+  state = fusion.Step(state, Row({1, 1, 1, 1}));
+  state = fusion.Step(state, Row({7, 8, 9, 10}));
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(state.hidden.At(0, 3), 10.0f);
+}
+
+TEST(EmbeddingFusionTest, DetachInPlaceCutsGraph) {
+  Rng rng(6);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kLstm), rng);
+  FusionState state = fusion.InitialState();
+  Tensor input = Row({1, 2, 3, 4});
+  state = fusion.Step(state, input);
+  state.DetachInPlace();
+  EXPECT_FALSE(state.hidden.requires_grad());
+  EXPECT_TRUE(state.hidden.impl()->parents.empty());
+}
+
+TEST(EmbeddingFusionTest, GradientsFlowThroughLstmMode) {
+  Rng rng(7);
+  EmbeddingFusion fusion(FusionConfig(KvecConfig::FusionKind::kLstm), rng);
+  FusionState state = fusion.InitialState();
+  state = fusion.Step(state, Row({0.5f, -0.5f, 0.25f, 1.0f}));
+  ops::SumAll(state.hidden).Backward();
+  int with_grad = 0;
+  for (const Tensor& param : fusion.Parameters()) {
+    for (float g : param.grad()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_grad, 0);
+}
+
+// ---- End-to-end: every fusion mode trains and evaluates. ----
+
+class FusionModeTrainingTest
+    : public ::testing::TestWithParam<KvecConfig::FusionKind> {};
+
+TEST_P(FusionModeTrainingTest, TrainsAndEvaluates) {
+  TrafficGeneratorConfig generator_config;
+  generator_config.num_classes = 2;
+  generator_config.concurrency = 2;
+  generator_config.avg_flow_length = 10.0;
+  generator_config.min_flow_length = 5;
+  generator_config.handshake_sharpness = 6.0;
+  TrafficGenerator generator(generator_config);
+  Dataset dataset = GenerateDataset(generator, {10, 2, 4}, /*seed=*/31);
+
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 12;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 2;
+  config.fusion = GetParam();
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  std::vector<TrainEpochStats> history = trainer.Train(dataset.train);
+  for (const TrainEpochStats& stats : history) {
+    EXPECT_TRUE(std::isfinite(stats.total_loss));
+  }
+  EvaluationResult result = trainer.Evaluate(dataset.test);
+  EXPECT_GT(result.summary.num_sequences, 0);
+  for (const PredictionRecord& record : result.records) {
+    EXPECT_GE(record.predicted_label, 0);
+    EXPECT_LT(record.predicted_label, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, FusionModeTrainingTest,
+    ::testing::Values(KvecConfig::FusionKind::kLstm,
+                      KvecConfig::FusionKind::kSum,
+                      KvecConfig::FusionKind::kMean,
+                      KvecConfig::FusionKind::kLast));
+
+// ---- Checkpoint round-trips across model variants. ----
+
+struct CheckpointCase {
+  KvecConfig::FusionKind fusion;
+  int num_heads;
+};
+
+class ModelCheckpointTest : public ::testing::TestWithParam<CheckpointCase> {};
+
+TEST_P(ModelCheckpointTest, SaveLoadPreservesPredictions) {
+  TrafficGeneratorConfig generator_config;
+  generator_config.num_classes = 3;
+  generator_config.concurrency = 2;
+  generator_config.avg_flow_length = 10.0;
+  generator_config.min_flow_length = 5;
+  TrafficGenerator generator(generator_config);
+  Dataset dataset = GenerateDataset(generator, {6, 2, 3}, /*seed=*/37);
+
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 12;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 1;
+  config.fusion = GetParam().fusion;
+  config.num_heads = GetParam().num_heads;
+
+  KvecModel original(config);
+  KvecTrainer trainer(&original);
+  trainer.Train(dataset.train);
+  EvaluationResult before = trainer.Evaluate(dataset.test);
+
+  const std::string path = ::testing::TempDir() + "/kvec_ckpt_fusion.bin";
+  ASSERT_TRUE(original.SaveToFile(path));
+
+  KvecModel restored(config);
+  ASSERT_TRUE(restored.LoadFromFile(path));
+  KvecTrainer restored_trainer(&restored);
+  EvaluationResult after = restored_trainer.Evaluate(dataset.test);
+
+  ASSERT_EQ(before.records.size(), after.records.size());
+  for (size_t i = 0; i < before.records.size(); ++i) {
+    EXPECT_EQ(before.records[i].predicted_label,
+              after.records[i].predicted_label);
+    EXPECT_EQ(before.records[i].observed_items,
+              after.records[i].observed_items);
+  }
+}
+
+TEST_P(ModelCheckpointTest, LoadRejectsMismatchedArchitecture) {
+  KvecConfig config;
+  config.embed_dim = 12;  // divisible by every head count used below
+  config.state_dim = 8;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 12;
+  config.spec.num_classes = 2;
+  config.spec.value_fields = {{"f", 4}, {"s", 2}};
+  config.spec.max_keys_per_episode = 4;
+  config.spec.max_sequence_length = 8;
+  config.spec.max_episode_length = 16;
+  config.fusion = GetParam().fusion;
+  config.num_heads = GetParam().num_heads;
+  KvecModel model(config);
+  const std::string path = ::testing::TempDir() + "/kvec_ckpt_mismatch.bin";
+  ASSERT_TRUE(model.SaveToFile(path));
+
+  KvecConfig other = config;
+  other.embed_dim = 24;  // different tensor shapes
+  KvecModel wrong(other);
+  EXPECT_FALSE(wrong.LoadFromFile(path));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ModelCheckpointTest,
+    ::testing::Values(CheckpointCase{KvecConfig::FusionKind::kLstm, 1},
+                      CheckpointCase{KvecConfig::FusionKind::kLstm, 2},
+                      CheckpointCase{KvecConfig::FusionKind::kMean, 1},
+                      CheckpointCase{KvecConfig::FusionKind::kSum, 3},
+                      CheckpointCase{KvecConfig::FusionKind::kLast, 1}));
+
+}  // namespace
+}  // namespace kvec

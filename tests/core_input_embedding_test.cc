@@ -1,0 +1,174 @@
+#include "core/input_embedding.h"
+
+#include <cmath>
+
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace kvec {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec spec;
+  spec.name = "test";
+  spec.value_fields = {{"size", 8}, {"direction", 2}};
+  spec.session_field = 1;
+  spec.num_classes = 3;
+  spec.max_keys_per_episode = 4;
+  spec.max_sequence_length = 16;
+  spec.max_episode_length = 64;
+  return spec;
+}
+
+TangledSequence SmallEpisode() {
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  episode.labels[1] = 1;
+  for (int i = 0; i < 6; ++i) {
+    Item item;
+    item.key = i % 2;
+    item.value = {i % 8, i % 2};
+    item.time = i;
+    episode.items.push_back(item);
+  }
+  return episode;
+}
+
+TEST(EpisodeIndexTest, PositionsWithinKey) {
+  TangledSequence episode = SmallEpisode();
+  EpisodeIndex index = EpisodeIndex::Build(episode);
+  EXPECT_EQ(index.keys, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(index.position_in_key, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(InputEmbeddingTest, OutputShape) {
+  Rng rng(1);
+  KvecConfig config = KvecConfig::ForSpec(SmallSpec());
+  config.embed_dim = 12;
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode = SmallEpisode();
+  Tensor out = embedding.Forward(episode, EpisodeIndex::Build(episode));
+  EXPECT_EQ(out.rows(), 6);
+  EXPECT_EQ(out.cols(), 12);
+}
+
+TEST(InputEmbeddingTest, SameInputsGiveSameRows) {
+  Rng rng(2);
+  KvecConfig config = KvecConfig::ForSpec(SmallSpec());
+  config.embed_dim = 8;
+  config.use_time_embeddings = false;  // rows then depend only on value+key
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  for (int i = 0; i < 2; ++i) {
+    Item item;
+    item.key = 0;
+    item.value = {3, 1};
+    item.time = i;
+    episode.items.push_back(item);
+  }
+  // Without time embeddings, membership+value identical -> different only
+  // through relative position, which is also disabled by the flag.
+  Tensor out = embedding.Forward(episode, EpisodeIndex::Build(episode));
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ(out.At(0, c), out.At(1, c));
+  }
+}
+
+TEST(InputEmbeddingTest, AblationsShrinkParameterCount) {
+  Rng rng1(3), rng2(3);
+  KvecConfig full = KvecConfig::ForSpec(SmallSpec());
+  KvecConfig ablated = full;
+  ablated.use_membership_embedding = false;
+  ablated.use_time_embeddings = false;
+  InputEmbedding a(full, rng1);
+  InputEmbedding b(ablated, rng2);
+  // Tables still exist (same count) but ablated ones are unused in Forward;
+  // verify the forward result differs.
+  TangledSequence episode = SmallEpisode();
+  Tensor fa = a.Forward(episode, EpisodeIndex::Build(episode));
+  Tensor fb = b.Forward(episode, EpisodeIndex::Build(episode));
+  float diff = 0.0f;
+  for (int i = 0; i < fa.size(); ++i) {
+    diff += std::fabs(fa.data()[i] - fb.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(InputEmbeddingTest, AccumulateItemRowMatchesForward) {
+  Rng rng(4);
+  KvecConfig config = KvecConfig::ForSpec(SmallSpec());
+  config.embed_dim = 10;
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode = SmallEpisode();
+  EpisodeIndex index = EpisodeIndex::Build(episode);
+  Tensor batch = embedding.Forward(episode, index);
+  for (size_t t = 0; t < episode.items.size(); ++t) {
+    std::vector<float> row(config.embed_dim, 0.0f);
+    embedding.AccumulateItemRow(episode.items[t], index.position_in_key[t],
+                                static_cast<int>(t), &row);
+    for (int c = 0; c < config.embed_dim; ++c) {
+      EXPECT_NEAR(row[c], batch.At(static_cast<int>(t), c), 1e-5f);
+    }
+  }
+}
+
+TEST(InputEmbeddingTest, AccumulateItemRowMatchesForwardUnderAblation) {
+  Rng rng(5);
+  KvecConfig config = KvecConfig::ForSpec(SmallSpec());
+  config.embed_dim = 10;
+  config.use_membership_embedding = false;
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode = SmallEpisode();
+  EpisodeIndex index = EpisodeIndex::Build(episode);
+  Tensor batch = embedding.Forward(episode, index);
+  for (size_t t = 0; t < episode.items.size(); ++t) {
+    std::vector<float> row(config.embed_dim, 0.0f);
+    embedding.AccumulateItemRow(episode.items[t], index.position_in_key[t],
+                                static_cast<int>(t), &row);
+    for (int c = 0; c < config.embed_dim; ++c) {
+      EXPECT_NEAR(row[c], batch.At(static_cast<int>(t), c), 1e-5f);
+    }
+  }
+}
+
+TEST(InputEmbeddingTest, LongEpisodeClampsVocabularies) {
+  Rng rng(6);
+  DatasetSpec spec = SmallSpec();
+  spec.max_sequence_length = 4;  // will be exceeded
+  spec.max_episode_length = 6;
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode;
+  episode.labels[0] = 0;
+  for (int i = 0; i < 10; ++i) {
+    Item item;
+    item.key = 0;
+    item.value = {0, 0};
+    item.time = i;
+    episode.items.push_back(item);
+  }
+  // Must not abort: ids clamp to the vocabulary bounds.
+  Tensor out = embedding.Forward(episode, EpisodeIndex::Build(episode));
+  EXPECT_EQ(out.rows(), 10);
+}
+
+TEST(InputEmbeddingTest, GradientsReachValueTables) {
+  Rng rng(7);
+  KvecConfig config = KvecConfig::ForSpec(SmallSpec());
+  InputEmbedding embedding(config, rng);
+  TangledSequence episode = SmallEpisode();
+  embedding.ZeroGrad();
+  ops::SumAll(embedding.Forward(episode, EpisodeIndex::Build(episode)))
+      .Backward();
+  std::vector<Tensor> params = embedding.Parameters();
+  float total = 0.0f;
+  for (const Tensor& param : params) {
+    for (float g : param.grad()) total += std::fabs(g);
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+}  // namespace
+}  // namespace kvec

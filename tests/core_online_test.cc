@@ -1,0 +1,126 @@
+#include "core/online.h"
+
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+Dataset SmallDataset() {
+  TrafficGeneratorConfig config;
+  config.num_classes = 2;
+  config.concurrency = 3;
+  config.avg_flow_length = 10.0;
+  config.min_flow_length = 5;
+  config.handshake_sharpness = 6.0;
+  TrafficGenerator generator(config);
+  return GenerateDataset(generator, {10, 1, 3}, /*seed=*/31);
+}
+
+KvecConfig SmallModelConfig(const DatasetSpec& spec) {
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  config.embed_dim = 12;
+  config.state_dim = 12;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 3;
+  config.seed = 17;
+  return config;
+}
+
+TEST(OnlineClassifierTest, MatchesBatchEvaluation) {
+  // The streaming engine must reproduce KvecTrainer::Evaluate exactly:
+  // same halting positions, same predictions.
+  Dataset dataset = SmallDataset();
+  KvecConfig config = SmallModelConfig(dataset.spec);
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  trainer.Train(dataset.train);
+
+  for (const TangledSequence& episode : dataset.test) {
+    EvaluationResult batch = trainer.Evaluate({episode});
+    OnlineClassifier online(model);
+    std::map<int, int> online_halt, online_pred;
+    for (const Item& item : episode.items) {
+      OnlineDecision decision = online.Observe(item);
+      if (decision.halted_now) {
+        online_halt[item.key] = decision.observed_items;
+        online_pred[item.key] = decision.predicted_label;
+      }
+    }
+    for (const auto& [key, label] : episode.labels) {
+      if (!online.IsHalted(key)) {
+        online_pred[key] = online.ForceClassify(key);
+        online_halt[key] = episode.KeyLength(key);
+      }
+    }
+    for (const HaltingRecord& halt : batch.halts) {
+      EXPECT_EQ(online_halt[halt.key], halt.halt_position)
+          << "halt mismatch for key " << halt.key;
+    }
+    for (const PredictionRecord& record : batch.records) {
+      // Keys are iterated in the same (map) order in both paths.
+      (void)record;
+    }
+    for (const auto& [key, predicted] : online_pred) {
+      bool found = false;
+      for (size_t i = 0; i < batch.halts.size(); ++i) {
+        if (batch.halts[i].key == key) {
+          EXPECT_EQ(predicted, batch.records[i].predicted_label)
+              << "prediction mismatch for key " << key;
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(OnlineClassifierTest, HaltedKeysIgnoreFurtherItems) {
+  Dataset dataset = SmallDataset();
+  KvecConfig config = SmallModelConfig(dataset.spec);
+  KvecModel model(config);  // untrained is fine for the API contract
+  OnlineClassifier online(model);
+  const TangledSequence& episode = dataset.test[0];
+  int halted_key = -1;
+  for (const Item& item : episode.items) {
+    OnlineDecision decision = online.Observe(item);
+    if (halted_key < 0 && decision.halted_now) halted_key = item.key;
+    if (halted_key >= 0 && item.key == halted_key) {
+      if (!decision.halted_now) {
+        EXPECT_TRUE(decision.already_halted);
+      }
+    }
+  }
+}
+
+TEST(OnlineClassifierTest, ForceClassifyUnknownKey) {
+  Dataset dataset = SmallDataset();
+  KvecConfig config = SmallModelConfig(dataset.spec);
+  KvecModel model(config);
+  OnlineClassifier online(model);
+  EXPECT_EQ(online.ForceClassify(/*key=*/123), -1);
+}
+
+TEST(OnlineClassifierTest, ObservedCountsPerKey) {
+  Dataset dataset = SmallDataset();
+  KvecConfig config = SmallModelConfig(dataset.spec);
+  KvecModel model(config);
+  OnlineClassifier online(model);
+  const TangledSequence& episode = dataset.test[0];
+  std::map<int, int> fed;
+  for (const Item& item : episode.items) {
+    OnlineDecision decision = online.Observe(item);
+    if (!decision.already_halted) {
+      ++fed[item.key];
+      EXPECT_EQ(decision.observed_items, fed[item.key]);
+    }
+  }
+  EXPECT_EQ(online.num_items_observed(),
+            static_cast<int>(episode.items.size()));
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,227 @@
+#include "core/stream_server.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::unique_ptr<KvecModel> model;
+};
+
+Fixture TrainSmallModel(uint64_t seed = 61) {
+  TrafficGeneratorConfig generator_config;
+  generator_config.num_classes = 2;
+  generator_config.concurrency = 3;
+  generator_config.avg_flow_length = 12.0;
+  generator_config.min_flow_length = 6;
+  generator_config.handshake_sharpness = 6.0;
+  TrafficGenerator generator(generator_config);
+  Fixture fixture;
+  fixture.dataset = GenerateDataset(generator, {12, 2, 6}, seed);
+  KvecConfig config = KvecConfig::ForSpec(fixture.dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 16;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 3;
+  config.beta = 5e-3f;
+  fixture.model = std::make_unique<KvecModel>(config);
+  KvecTrainer trainer(fixture.model.get());
+  trainer.Train(fixture.dataset.train);
+  return fixture;
+}
+
+// Streams one episode; remaps episode-local keys by `key_offset` so several
+// episodes can share one server without collisions.
+std::vector<StreamEvent> StreamEpisode(StreamServer& server,
+                                       const TangledSequence& episode,
+                                       int key_offset = 0) {
+  std::vector<StreamEvent> events;
+  for (Item item : episode.items) {
+    item.key += key_offset;
+    for (StreamEvent& event : server.Observe(item)) {
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+TEST(StreamServerTest, EveryKeyGetsExactlyOneVerdict) {
+  Fixture fixture = TrainSmallModel();
+  StreamServer server(*fixture.model, {});
+  std::map<int, int> verdicts;
+  int offset = 0;
+  for (const TangledSequence& episode : fixture.dataset.test) {
+    for (const StreamEvent& event :
+         StreamEpisode(server, episode, offset)) {
+      ++verdicts[event.key];
+    }
+    offset += 100;
+  }
+  for (const StreamEvent& event : server.Flush()) ++verdicts[event.key];
+
+  offset = 0;
+  int expected_keys = 0;
+  for (const TangledSequence& episode : fixture.dataset.test) {
+    expected_keys += episode.num_keys();
+  }
+  EXPECT_EQ(static_cast<int>(verdicts.size()), expected_keys);
+  for (const auto& [key, count] : verdicts) {
+    EXPECT_EQ(count, 1) << "key " << key << " classified " << count
+                        << " times";
+  }
+  EXPECT_EQ(server.open_keys(), 0);
+}
+
+TEST(StreamServerTest, StatsAddUp) {
+  Fixture fixture = TrainSmallModel(62);
+  StreamServer server(*fixture.model, {});
+  int64_t total_items = 0;
+  int offset = 0;
+  for (const TangledSequence& episode : fixture.dataset.test) {
+    StreamEpisode(server, episode, offset);
+    total_items += static_cast<int64_t>(episode.items.size());
+    offset += 100;
+  }
+  server.Flush();
+  const StreamServerStats& stats = server.stats();
+  EXPECT_EQ(stats.items_processed, total_items);
+  int64_t by_class = 0;
+  for (int64_t count : stats.class_counts) by_class += count;
+  EXPECT_EQ(by_class, stats.sequences_classified);
+  EXPECT_GE(stats.sequences_classified, stats.policy_halts);
+}
+
+TEST(StreamServerTest, IdleKeysAreEvicted) {
+  Fixture fixture = TrainSmallModel(63);
+  StreamServerConfig config;
+  config.idle_timeout = 10;
+  config.idle_check_interval = 1;
+  StreamServer server(*fixture.model, config);
+
+  // One item of key 1000, then a long stream of other keys: key 1000 must
+  // be idle-evicted along the way.
+  Item probe = fixture.dataset.test[0].items[0];
+  probe.key = 1000;
+  server.Observe(probe);
+  bool evicted = false;
+  int offset = 0;
+  for (const TangledSequence& episode : fixture.dataset.test) {
+    for (const StreamEvent& event :
+         StreamEpisode(server, episode, offset)) {
+      if (event.key == 1000) {
+        EXPECT_EQ(event.cause, StreamEvent::Cause::kIdleTimeout);
+        EXPECT_EQ(event.observed_items, 1);
+        evicted = true;
+      }
+    }
+    offset += 100;
+  }
+  EXPECT_TRUE(evicted);
+  EXPECT_GE(server.stats().idle_timeouts, 1);
+}
+
+TEST(StreamServerTest, CapacityCapHolds) {
+  Fixture fixture = TrainSmallModel(64);
+  StreamServerConfig config;
+  config.max_open_keys = 4;
+  config.idle_timeout = 1 << 20;  // disable idle eviction
+  StreamServer server(*fixture.model, config);
+  // Feed one item each for many distinct keys: open set must stay <= 4.
+  Item base = fixture.dataset.test[0].items[0];
+  for (int key = 0; key < 50; ++key) {
+    Item item = base;
+    item.key = key;
+    item.time = key;
+    server.Observe(item);
+    EXPECT_LE(server.open_keys(), 4);
+  }
+  EXPECT_GE(server.stats().capacity_evictions, 1);
+}
+
+TEST(StreamServerTest, WindowRotationBoundsEngineAndClosesKeys) {
+  Fixture fixture = TrainSmallModel(65);
+  StreamServerConfig config;
+  config.max_window_items = 40;
+  config.idle_timeout = 1 << 20;
+  StreamServer server(*fixture.model, config);
+  int rotations_seen = 0;
+  int offset = 0;
+  for (const TangledSequence& episode : fixture.dataset.test) {
+    for (const StreamEvent& event :
+         StreamEpisode(server, episode, offset)) {
+      if (event.cause == StreamEvent::Cause::kWindowRotation) {
+        ++rotations_seen;
+      }
+    }
+    offset += 100;
+  }
+  EXPECT_GT(server.stats().windows_started, 1);
+  EXPECT_EQ(server.stats().rotation_classifications, rotations_seen);
+}
+
+TEST(StreamServerTest, LargeWindowMatchesPlainOnlineClassifier) {
+  // With bounds effectively disabled, the server's policy halts must agree
+  // with a bare OnlineClassifier on the same stream.
+  Fixture fixture = TrainSmallModel(66);
+  StreamServerConfig config;  // defaults are far larger than one episode
+  StreamServer server(*fixture.model, config);
+  OnlineClassifier plain(*fixture.model);
+
+  const TangledSequence& episode = fixture.dataset.test[0];
+  std::map<int, int> server_verdicts, plain_verdicts;
+  for (const Item& item : episode.items) {
+    for (const StreamEvent& event : server.Observe(item)) {
+      if (event.cause == StreamEvent::Cause::kPolicyHalt) {
+        server_verdicts[event.key] = event.predicted_label;
+      }
+    }
+    OnlineDecision decision = plain.Observe(item);
+    if (decision.halted_now) {
+      plain_verdicts[decision.key] = decision.predicted_label;
+    }
+  }
+  EXPECT_EQ(server_verdicts, plain_verdicts);
+}
+
+TEST(StreamServerTest, FlushIsIdempotent) {
+  Fixture fixture = TrainSmallModel(67);
+  StreamServer server(*fixture.model, {});
+  StreamEpisode(server, fixture.dataset.test[0]);
+  server.Flush();
+  EXPECT_TRUE(server.Flush().empty());
+  EXPECT_EQ(server.open_keys(), 0);
+}
+
+TEST(StreamServerTest, EventsCarryConfidence) {
+  Fixture fixture = TrainSmallModel(68);
+  StreamServer server(*fixture.model, {});
+  std::vector<StreamEvent> events =
+      StreamEpisode(server, fixture.dataset.test[0]);
+  for (const StreamEvent& event : server.Flush()) events.push_back(event);
+  ASSERT_FALSE(events.empty());
+  for (const StreamEvent& event : events) {
+    EXPECT_GT(event.confidence, 0.0);
+    EXPECT_LE(event.confidence, 1.0);
+    EXPECT_GE(event.observed_items, 1);
+  }
+}
+
+TEST(StreamServerDeathTest, RejectsBadConfig) {
+  Fixture fixture = TrainSmallModel(69);
+  StreamServerConfig bad;
+  bad.max_window_items = 0;
+  EXPECT_DEATH(StreamServer(*fixture.model, bad), "check failed");
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,287 @@
+#include "data/generator.h"
+
+#include <set>
+
+#include "data/movielens_generator.h"
+#include "data/session.h"
+#include "data/stop_signal_generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+TEST(SplitCountsTest, FollowsEightOneOne) {
+  SplitCounts counts = SplitCounts::FromTotal(100);
+  EXPECT_EQ(counts.train, 80);
+  EXPECT_EQ(counts.validation, 10);
+  EXPECT_EQ(counts.test, 10);
+}
+
+TEST(SplitCountsTest, SmallTotalsStayPositive) {
+  SplitCounts counts = SplitCounts::FromTotal(10);
+  EXPECT_GE(counts.train, 1);
+  EXPECT_GE(counts.validation, 1);
+  EXPECT_GE(counts.test, 1);
+  EXPECT_EQ(counts.train + counts.validation + counts.test, 10);
+}
+
+TEST(TrafficGeneratorTest, EpisodeStructure) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 4;
+  config.concurrency = 3;
+  config.avg_flow_length = 20.0;
+  TrafficGenerator generator(config);
+  Rng rng(1);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  episode.Validate(2);
+  EXPECT_EQ(episode.num_keys(), 3);
+  for (const auto& [key, label] : episode.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+    EXPECT_GE(episode.KeyLength(key), config.min_flow_length);
+  }
+  for (const Item& item : episode.items) {
+    EXPECT_GE(item.value[0], 0);
+    EXPECT_LT(item.value[0], config.num_size_buckets);
+    EXPECT_GE(item.value[1], 0);
+    EXPECT_LE(item.value[1], 1);
+  }
+}
+
+TEST(TrafficGeneratorTest, AverageLengthTracksTarget) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 3;
+  config.concurrency = 4;
+  config.avg_flow_length = 30.0;
+  TrafficGenerator generator(config);
+  Rng rng(2);
+  double total = 0.0;
+  int sequences = 0;
+  for (int e = 0; e < 50; ++e) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    for (const auto& [key, label] : episode.labels) {
+      total += episode.KeyLength(key);
+      ++sequences;
+    }
+  }
+  EXPECT_NEAR(total / sequences, 30.0, 5.0);
+}
+
+TEST(TrafficGeneratorTest, BurstinessTracksContinueProb) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 2;
+  config.concurrency = 2;
+  config.avg_flow_length = 60.0;
+  config.burst_continue_prob = 0.9;  // long bursts
+  TrafficGenerator generator(config);
+  Rng rng(3);
+  double session_length_sum = 0.0;
+  for (int e = 0; e < 30; ++e) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    session_length_sum += AverageSessionLength(episode, 1);
+  }
+  // 1/(1-0.9) = 10 before per-class jitter; must be clearly bursty.
+  EXPECT_GT(session_length_sum / 30.0, 4.0);
+}
+
+TEST(TrafficGeneratorTest, ShortFlowClassesAreShorter) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 4;
+  config.num_short_flow_classes = 2;
+  config.concurrency = 4;
+  config.avg_flow_length = 45.0;
+  config.min_flow_length = 4;
+  TrafficGenerator generator(config);
+  Rng rng(4);
+  double short_total = 0.0, long_total = 0.0;
+  int short_count = 0, long_count = 0;
+  for (int e = 0; e < 60; ++e) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    for (const auto& [key, label] : episode.labels) {
+      if (label < 2) {
+        short_total += episode.KeyLength(key);
+        ++short_count;
+      } else {
+        long_total += episode.KeyLength(key);
+        ++long_count;
+      }
+    }
+  }
+  ASSERT_GT(short_count, 0);
+  ASSERT_GT(long_count, 0);
+  EXPECT_LT(short_total / short_count, 0.6 * (long_total / long_count));
+}
+
+TEST(TrafficGeneratorTest, DeterministicGivenSeed) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 3;
+  TrafficGenerator generator(config);
+  Rng rng1(77), rng2(77);
+  TangledSequence a = generator.GenerateEpisode(rng1);
+  TangledSequence b = generator.GenerateEpisode(rng2);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].key, b.items[i].key);
+    EXPECT_EQ(a.items[i].value, b.items[i].value);
+  }
+}
+
+TEST(MovieLensGeneratorTest, EpisodeStructure) {
+  MovieLensGeneratorConfig config;
+  config.concurrency = 3;
+  config.avg_sequence_length = 25.0;
+  MovieLensGenerator generator(config);
+  Rng rng(5);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  episode.Validate(3);
+  EXPECT_EQ(episode.num_keys(), 3);
+  for (const auto& [key, label] : episode.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, 1);
+  }
+  for (const Item& item : episode.items) {
+    EXPECT_LT(item.value[0], config.num_movie_buckets);
+    EXPECT_LT(item.value[1], config.num_genres);
+    EXPECT_LT(item.value[2], config.num_ratings);
+  }
+}
+
+TEST(MovieLensGeneratorTest, SessionsAreShort) {
+  MovieLensGeneratorConfig config;
+  config.session_continue_prob = 0.41;
+  config.avg_sequence_length = 60.0;
+  MovieLensGenerator generator(config);
+  Rng rng(6);
+  double total = 0.0;
+  for (int e = 0; e < 30; ++e) {
+    total += AverageSessionLength(generator.GenerateEpisode(rng), 1);
+  }
+  EXPECT_NEAR(total / 30.0, 1.7, 0.4);
+}
+
+TEST(StopSignalGeneratorTest, EarlyStopPositions) {
+  StopSignalGeneratorConfig config;
+  config.early_stop = true;
+  config.flow_length = 40;
+  config.signal_length = 10;
+  StopSignalGenerator generator(config);
+  Rng rng(7);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  episode.Validate(2);
+  for (const auto& [key, position] : episode.true_halt_positions) {
+    EXPECT_EQ(position, 10);
+    EXPECT_EQ(episode.KeyLength(key), 40);
+  }
+}
+
+TEST(StopSignalGeneratorTest, LateStopPositions) {
+  StopSignalGeneratorConfig config;
+  config.early_stop = false;
+  config.flow_length = 40;
+  config.signal_length = 10;
+  StopSignalGenerator generator(config);
+  Rng rng(8);
+  TangledSequence episode = generator.GenerateEpisode(rng);
+  for (const auto& [key, position] : episode.true_halt_positions) {
+    EXPECT_EQ(position, 40);
+  }
+}
+
+TEST(StopSignalGeneratorTest, SignalIsClassDiscriminative) {
+  // Signal-token histograms of the two classes must differ much more than
+  // filler histograms (which are class-independent by construction).
+  StopSignalGeneratorConfig config;
+  config.early_stop = true;
+  config.flow_length = 30;
+  config.signal_length = 10;
+  config.concurrency = 4;
+  StopSignalGenerator generator(config);
+  Rng rng(9);
+  std::vector<std::vector<double>> signal_hist(
+      2, std::vector<double>(config.num_size_buckets, 0.0));
+  for (int e = 0; e < 50; ++e) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    std::map<int, int> seen;
+    for (const Item& item : episode.items) {
+      int position = seen[item.key]++;
+      if (position < config.signal_length) {
+        signal_hist[episode.labels[item.key]][item.value[0]] += 1.0;
+      }
+    }
+  }
+  for (auto& hist : signal_hist) {
+    double total = 0.0;
+    for (double v : hist) total += v;
+    for (double& v : hist) v /= total;
+  }
+  double l1_distance = 0.0;
+  for (int b = 0; b < config.num_size_buckets; ++b) {
+    l1_distance += std::abs(signal_hist[0][b] - signal_hist[1][b]);
+  }
+  EXPECT_GT(l1_distance, 0.5);
+}
+
+TEST(GenerateDatasetTest, SplitSizesAndValidation) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 3;
+  config.concurrency = 2;
+  config.avg_flow_length = 12.0;
+  config.min_flow_length = 4;
+  TrafficGenerator generator(config);
+  Dataset dataset = GenerateDataset(generator, {8, 2, 2}, /*seed=*/11);
+  EXPECT_EQ(dataset.train.size(), 8u);
+  EXPECT_EQ(dataset.validation.size(), 2u);
+  EXPECT_EQ(dataset.test.size(), 2u);
+  EXPECT_EQ(dataset.spec.num_classes, 3);
+}
+
+TEST(TrafficGeneratorTest, ClassCooccurrenceBoundsDistinctClasses) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 8;
+  config.concurrency = 6;
+  config.avg_flow_length = 8.0;
+  config.min_flow_length = 4;
+  config.classes_per_episode = 2;
+  TrafficGenerator generator(config);
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    std::set<int> classes;
+    for (const auto& [key, label] : episode.labels) classes.insert(label);
+    EXPECT_LE(classes.size(), 2u);
+    EXPECT_GE(classes.size(), 1u);
+  }
+}
+
+TEST(TrafficGeneratorTest, ZeroCooccurrenceUsesAllClasses) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 4;
+  config.concurrency = 4;
+  config.avg_flow_length = 6.0;
+  config.min_flow_length = 4;
+  config.classes_per_episode = 0;  // independent classes
+  TrafficGenerator generator(config);
+  Rng rng(18);
+  std::set<int> classes;
+  for (int trial = 0; trial < 40; ++trial) {
+    TangledSequence episode = generator.GenerateEpisode(rng);
+    for (const auto& [key, label] : episode.labels) classes.insert(label);
+  }
+  EXPECT_EQ(classes.size(), 4u);  // every class eventually appears
+}
+
+TEST(GenerateDatasetTest, ReproducibleFromSeed) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 2;
+  TrafficGenerator generator(config);
+  Dataset a = GenerateDataset(generator, {4, 1, 1}, 99);
+  Dataset b = GenerateDataset(generator, {4, 1, 1}, 99);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t e = 0; e < a.train.size(); ++e) {
+    ASSERT_EQ(a.train[e].items.size(), b.train[e].items.size());
+  }
+}
+
+}  // namespace
+}  // namespace kvec

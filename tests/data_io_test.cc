@@ -1,0 +1,141 @@
+#include "data/io.h"
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+std::vector<TangledSequence> SampleEpisodes() {
+  TrafficGeneratorConfig config;
+  config.num_classes = 3;
+  config.concurrency = 3;
+  config.avg_flow_length = 10.0;
+  config.min_flow_length = 4;
+  TrafficGenerator generator(config);
+  Rng rng(5);
+  std::vector<TangledSequence> episodes;
+  for (int e = 0; e < 4; ++e) {
+    episodes.push_back(generator.GenerateEpisode(rng));
+  }
+  return episodes;
+}
+
+TEST(DataIoTest, RoundTripPreservesEverything) {
+  std::vector<TangledSequence> episodes = SampleEpisodes();
+  std::string csv = TangledSequencesToCsv(episodes, 2);
+  std::vector<TangledSequence> loaded;
+  ASSERT_TRUE(TangledSequencesFromCsv(csv, &loaded));
+  ASSERT_EQ(loaded.size(), episodes.size());
+  for (size_t e = 0; e < episodes.size(); ++e) {
+    ASSERT_EQ(loaded[e].items.size(), episodes[e].items.size());
+    EXPECT_EQ(loaded[e].labels, episodes[e].labels);
+    for (size_t i = 0; i < episodes[e].items.size(); ++i) {
+      EXPECT_EQ(loaded[e].items[i].key, episodes[e].items[i].key);
+      EXPECT_EQ(loaded[e].items[i].value, episodes[e].items[i].value);
+      EXPECT_NEAR(loaded[e].items[i].time, episodes[e].items[i].time, 1e-6);
+    }
+  }
+}
+
+TEST(DataIoTest, TrueHaltColumnsRoundTrip) {
+  std::vector<TangledSequence> episodes(1);
+  TangledSequence& episode = episodes[0];
+  episode.labels[0] = 1;
+  episode.true_halt_positions[0] = 2;
+  for (int i = 0; i < 3; ++i) {
+    Item item;
+    item.key = 0;
+    item.value = {i, 0};
+    item.time = i;
+    episode.items.push_back(item);
+  }
+  std::string csv = TangledSequencesToCsv(episodes, 2);
+  std::vector<TangledSequence> loaded;
+  ASSERT_TRUE(TangledSequencesFromCsv(csv, &loaded));
+  EXPECT_EQ(loaded[0].true_halt_positions.at(0), 2);
+}
+
+TEST(DataIoTest, FileRoundTrip) {
+  std::vector<TangledSequence> episodes = SampleEpisodes();
+  std::string path = ::testing::TempDir() + "/kvec_io_test.csv";
+  ASSERT_TRUE(SaveTangledSequences(episodes, 2, path));
+  std::vector<TangledSequence> loaded;
+  ASSERT_TRUE(LoadTangledSequences(path, &loaded));
+  EXPECT_EQ(loaded.size(), episodes.size());
+  std::remove(path.c_str());
+}
+
+TEST(DataIoTest, LoadedEpisodesValidate) {
+  std::vector<TangledSequence> episodes = SampleEpisodes();
+  std::string csv = TangledSequencesToCsv(episodes, 2);
+  std::vector<TangledSequence> loaded;
+  ASSERT_TRUE(TangledSequencesFromCsv(csv, &loaded));
+  for (const TangledSequence& episode : loaded) episode.Validate(2);
+}
+
+TEST(DataIoTest, RejectsBadHeader) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(
+      TangledSequencesFromCsv("foo,bar\n1,2\n", &episodes));
+  EXPECT_FALSE(TangledSequencesFromCsv("", &episodes));
+  // No value columns at all.
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,true_halt\n0,0,0,0,0\n", &episodes));
+}
+
+TEST(DataIoTest, RejectsRaggedRow) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,v0,true_halt\n0,0,0.0,1\n", &episodes));
+}
+
+TEST(DataIoTest, RejectsNonNumeric) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,v0,true_halt\n0,zero,0.0,1,2,0\n", &episodes));
+}
+
+TEST(DataIoTest, RejectsInconsistentLabels) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,v0,true_halt\n"
+      "0,0,0.0,1,2,0\n"
+      "0,0,1.0,2,3,0\n",
+      &episodes));
+}
+
+TEST(DataIoTest, RejectsOutOfOrderTime) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,v0,true_halt\n"
+      "0,0,5.0,1,2,0\n"
+      "0,0,1.0,1,3,0\n",
+      &episodes));
+}
+
+TEST(DataIoTest, RejectsNonContiguousEpisodes) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(TangledSequencesFromCsv(
+      "episode,key,time,label,v0,true_halt\n"
+      "0,0,0.0,1,2,0\n"
+      "2,0,0.0,1,3,0\n",
+      &episodes));
+}
+
+TEST(DataIoTest, FailureLeavesOutputUntouched) {
+  std::vector<TangledSequence> episodes(3);
+  EXPECT_FALSE(TangledSequencesFromCsv("broken", &episodes));
+  EXPECT_EQ(episodes.size(), 3u);
+}
+
+TEST(DataIoTest, MissingFileLoadFails) {
+  std::vector<TangledSequence> episodes;
+  EXPECT_FALSE(LoadTangledSequences("/nonexistent/data.csv", &episodes));
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,206 @@
+#include "data/perturb.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+TangledSequence SampleEpisode(uint64_t seed = 11, int concurrency = 3) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 3;
+  config.concurrency = concurrency;
+  config.avg_flow_length = 15.0;
+  config.min_flow_length = 6;
+  TrafficGenerator generator(config);
+  Rng rng(seed);
+  return generator.GenerateEpisode(rng);
+}
+
+int NumValueFields(const TangledSequence& episode) {
+  return episode.items.empty()
+             ? 0
+             : static_cast<int>(episode.items.front().value.size());
+}
+
+// ---- DropItems ----
+
+TEST(DropItemsTest, ZeroProbabilityIsIdentity) {
+  TangledSequence episode = SampleEpisode();
+  Rng rng(1);
+  TangledSequence out = DropItems(episode, 0.0, rng);
+  EXPECT_EQ(out.items.size(), episode.items.size());
+}
+
+TEST(DropItemsTest, DropsRoughlyTheRequestedFraction) {
+  TangledSequence episode = SampleEpisode(12, 4);
+  Rng rng(2);
+  TangledSequence out = DropItems(episode, 0.5, rng);
+  const double kept =
+      static_cast<double>(out.items.size()) / episode.items.size();
+  EXPECT_GT(kept, 0.3);
+  EXPECT_LT(kept, 0.7);
+}
+
+TEST(DropItemsTest, EveryKeySurvives) {
+  TangledSequence episode = SampleEpisode(13, 5);
+  Rng rng(3);
+  TangledSequence out = DropItems(episode, 0.95, rng);
+  std::set<int> keys;
+  for (const Item& item : out.items) keys.insert(item.key);
+  for (const auto& [key, label] : episode.labels) {
+    EXPECT_TRUE(keys.count(key)) << "key " << key << " lost all items";
+  }
+  out.Validate(NumValueFields(out));
+}
+
+TEST(DropItemsTest, PreservesRelativeOrder) {
+  TangledSequence episode = SampleEpisode(14);
+  Rng rng(4);
+  TangledSequence out = DropItems(episode, 0.3, rng);
+  for (size_t i = 1; i < out.items.size(); ++i) {
+    EXPECT_LE(out.items[i - 1].time, out.items[i].time);
+  }
+}
+
+// ---- CorruptValues ----
+
+TEST(CorruptValuesTest, OnlyTargetFieldChanges) {
+  TangledSequence episode = SampleEpisode(15);
+  Rng rng(5);
+  TangledSequence out = CorruptValues(episode, /*field=*/0,
+                                      /*vocab_size=*/8, /*noise_prob=*/1.0,
+                                      rng);
+  ASSERT_EQ(out.items.size(), episode.items.size());
+  for (size_t i = 0; i < out.items.size(); ++i) {
+    for (size_t f = 1; f < out.items[i].value.size(); ++f) {
+      EXPECT_EQ(out.items[i].value[f], episode.items[i].value[f]);
+    }
+    EXPECT_GE(out.items[i].value[0], 0);
+    EXPECT_LT(out.items[i].value[0], 8);
+  }
+}
+
+TEST(CorruptValuesTest, ZeroProbabilityIsIdentity) {
+  TangledSequence episode = SampleEpisode(16);
+  Rng rng(6);
+  TangledSequence out = CorruptValues(episode, 0, 8, 0.0, rng);
+  for (size_t i = 0; i < out.items.size(); ++i) {
+    EXPECT_EQ(out.items[i].value, episode.items[i].value);
+  }
+}
+
+// ---- TruncateSequences ----
+
+TEST(TruncateSequencesTest, CapsEveryKeyLength) {
+  TangledSequence episode = SampleEpisode(17, 4);
+  TangledSequence out = TruncateSequences(episode, 5);
+  std::map<int, int> lengths;
+  for (const Item& item : out.items) ++lengths[item.key];
+  for (const auto& [key, length] : lengths) {
+    EXPECT_LE(length, 5);
+    EXPECT_GE(length, 1);
+  }
+}
+
+TEST(TruncateSequencesTest, LargeCapIsIdentity) {
+  TangledSequence episode = SampleEpisode(18);
+  TangledSequence out = TruncateSequences(episode, 1 << 20);
+  EXPECT_EQ(out.items.size(), episode.items.size());
+}
+
+TEST(TruncateSequencesTest, ClampsTrueHaltPositions) {
+  TangledSequence episode = SampleEpisode(19);
+  // Pretend the halt position of every key is at its full length.
+  std::map<int, int> lengths;
+  for (const Item& item : episode.items) ++lengths[item.key];
+  for (const auto& [key, length] : lengths) {
+    episode.true_halt_positions[key] = length;
+  }
+  TangledSequence out = TruncateSequences(episode, 3);
+  for (const auto& [key, position] : out.true_halt_positions) {
+    EXPECT_LE(position, 3);
+    EXPECT_GE(position, 1);
+  }
+}
+
+// ---- JitterOrder ----
+
+TEST(JitterOrderTest, ZeroDisplacementIsIdentity) {
+  TangledSequence episode = SampleEpisode(20);
+  Rng rng(7);
+  TangledSequence out = JitterOrder(episode, 0, rng);
+  for (size_t i = 0; i < out.items.size(); ++i) {
+    EXPECT_EQ(out.items[i].key, episode.items[i].key);
+    EXPECT_EQ(out.items[i].value, episode.items[i].value);
+  }
+}
+
+TEST(JitterOrderTest, PreservesMultisetOfItems) {
+  TangledSequence episode = SampleEpisode(21);
+  Rng rng(8);
+  TangledSequence out = JitterOrder(episode, 4, rng);
+  ASSERT_EQ(out.items.size(), episode.items.size());
+  auto signature = [](const TangledSequence& e) {
+    std::multiset<std::pair<int, int>> s;
+    for (const Item& item : e.items) s.insert({item.key, item.value[0]});
+    return s;
+  };
+  EXPECT_EQ(signature(out), signature(episode));
+}
+
+TEST(JitterOrderTest, TimestampsStayMonotone) {
+  TangledSequence episode = SampleEpisode(22);
+  Rng rng(9);
+  TangledSequence out = JitterOrder(episode, 6, rng);
+  for (size_t i = 1; i < out.items.size(); ++i) {
+    EXPECT_LE(out.items[i - 1].time, out.items[i].time);
+  }
+  out.Validate(NumValueFields(out));
+}
+
+TEST(JitterOrderTest, ActuallyMovesItems) {
+  TangledSequence episode = SampleEpisode(23, 4);
+  Rng rng(10);
+  TangledSequence out = JitterOrder(episode, 5, rng);
+  int moved = 0;
+  for (size_t i = 0; i < out.items.size(); ++i) {
+    if (out.items[i].key != episode.items[i].key ||
+        out.items[i].value != episode.items[i].value) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+// ---- PerturbAll ----
+
+TEST(PerturbAllTest, AppliesToEverySplitMember) {
+  std::vector<TangledSequence> episodes = {SampleEpisode(24),
+                                           SampleEpisode(25)};
+  std::vector<TangledSequence> out = PerturbAll(
+      episodes,
+      [](const TangledSequence& e) { return TruncateSequences(e, 2); });
+  ASSERT_EQ(out.size(), 2u);
+  for (const TangledSequence& episode : out) {
+    std::map<int, int> lengths;
+    for (const Item& item : episode.items) ++lengths[item.key];
+    for (const auto& [key, length] : lengths) EXPECT_LE(length, 2);
+  }
+}
+
+TEST(PerturbDeathTest, RejectsBadArguments) {
+  TangledSequence episode = SampleEpisode(26);
+  Rng rng(11);
+  EXPECT_DEATH(DropItems(episode, 1.0, rng), "check failed");
+  EXPECT_DEATH(TruncateSequences(episode, 0), "check failed");
+  EXPECT_DEATH(CorruptValues(episode, -1, 8, 0.5, rng), "check failed");
+  EXPECT_DEATH(JitterOrder(episode, -1, rng), "check failed");
+}
+
+}  // namespace
+}  // namespace kvec

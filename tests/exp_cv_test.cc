@@ -1,0 +1,150 @@
+#include "exp/cv.h"
+
+#include <set>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "exp/method.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+std::vector<TangledSequence> MakeEpisodes(int count) {
+  TrafficGeneratorConfig config;
+  config.num_classes = 2;
+  config.concurrency = 2;
+  config.avg_flow_length = 8.0;
+  config.min_flow_length = 4;
+  TrafficGenerator generator(config);
+  Rng rng(3);
+  std::vector<TangledSequence> episodes;
+  for (int i = 0; i < count; ++i) {
+    episodes.push_back(generator.GenerateEpisode(rng));
+  }
+  return episodes;
+}
+
+// Identifies an episode by its item count + first item time, which is
+// unique enough for the partition checks below.
+std::pair<size_t, double> EpisodeId(const TangledSequence& episode) {
+  return {episode.items.size(),
+          episode.items.empty() ? -1.0 : episode.items.front().time};
+}
+
+TEST(MakeFoldsTest, EveryEpisodeTestedExactlyOnce) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(23);
+  std::vector<Fold> folds = MakeFolds(episodes, 5, /*seed=*/1);
+  ASSERT_EQ(folds.size(), 5u);
+  size_t total_test = 0;
+  for (const Fold& fold : folds) total_test += fold.test.size();
+  EXPECT_EQ(total_test, episodes.size());
+}
+
+TEST(MakeFoldsTest, SplitsArePartitions) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(20);
+  for (const Fold& fold : MakeFolds(episodes, 4, /*seed=*/2)) {
+    EXPECT_EQ(fold.train.size() + fold.validation.size() + fold.test.size(),
+              episodes.size());
+    std::multiset<std::pair<size_t, double>> test_ids, train_ids;
+    for (const TangledSequence& e : fold.test) test_ids.insert(EpisodeId(e));
+    for (const TangledSequence& e : fold.train) {
+      train_ids.insert(EpisodeId(e));
+    }
+    for (const TangledSequence& e : fold.validation) {
+      train_ids.insert(EpisodeId(e));
+    }
+    // No test episode appears on the training side.
+    for (const auto& id : test_ids) {
+      EXPECT_EQ(train_ids.count(id) + test_ids.count(id),
+                static_cast<size_t>(
+                    std::count_if(episodes.begin(), episodes.end(),
+                                  [&](const TangledSequence& e) {
+                                    return EpisodeId(e) == id;
+                                  })));
+    }
+  }
+}
+
+TEST(MakeFoldsTest, ValidationCarvedFromTrainingSide) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(30);
+  std::vector<Fold> folds =
+      MakeFolds(episodes, 5, /*seed=*/3, /*validation_fraction=*/0.2);
+  for (const Fold& fold : folds) {
+    EXPECT_GE(fold.validation.size(), 1u);
+    EXPECT_GE(fold.train.size(), 1u);
+  }
+}
+
+TEST(MakeFoldsTest, ZeroValidationFraction) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(10);
+  for (const Fold& fold : MakeFolds(episodes, 2, 4, 0.0)) {
+    EXPECT_TRUE(fold.validation.empty());
+  }
+}
+
+TEST(MakeFoldsTest, DeterministicGivenSeed) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(15);
+  std::vector<Fold> a = MakeFolds(episodes, 3, 7);
+  std::vector<Fold> b = MakeFolds(episodes, 3, 7);
+  for (size_t f = 0; f < a.size(); ++f) {
+    ASSERT_EQ(a[f].test.size(), b[f].test.size());
+    for (size_t i = 0; i < a[f].test.size(); ++i) {
+      EXPECT_EQ(EpisodeId(a[f].test[i]), EpisodeId(b[f].test[i]));
+    }
+  }
+}
+
+TEST(MakeFoldsDeathTest, RejectsDegenerateRequests) {
+  std::vector<TangledSequence> episodes = MakeEpisodes(3);
+  EXPECT_DEATH(MakeFolds(episodes, 1, 0), "check failed");
+  EXPECT_DEATH(MakeFolds(episodes, 4, 0), "one episode per fold");
+}
+
+TEST(AggregateSummariesTest, MeanAndStddev) {
+  EvaluationSummary a, b;
+  a.accuracy = 0.8;
+  a.earliness = 0.2;
+  a.num_sequences = 10;
+  b.accuracy = 0.6;
+  b.earliness = 0.4;
+  b.num_sequences = 20;
+  CrossValidationSummary cv = AggregateSummaries({a, b});
+  EXPECT_EQ(cv.folds, 2);
+  EXPECT_NEAR(cv.mean.accuracy, 0.7, 1e-9);
+  EXPECT_NEAR(cv.stddev.accuracy, 0.1, 1e-9);
+  EXPECT_NEAR(cv.mean.earliness, 0.3, 1e-9);
+  EXPECT_EQ(cv.mean.num_sequences, 15);
+}
+
+TEST(AggregateSummariesTest, SingleFoldHasZeroStddev) {
+  EvaluationSummary a;
+  a.accuracy = 0.75;
+  CrossValidationSummary cv = AggregateSummaries({a});
+  EXPECT_NEAR(cv.mean.accuracy, 0.75, 1e-9);
+  EXPECT_NEAR(cv.stddev.accuracy, 0.0, 1e-9);
+}
+
+TEST(CrossValidateTest, RunsClassicMethodAcrossFolds) {
+  // Use the cheap PrefixEcts method so 3-fold CV stays fast.
+  TrafficGeneratorConfig config;
+  config.num_classes = 2;
+  config.concurrency = 2;
+  config.avg_flow_length = 10.0;
+  config.min_flow_length = 5;
+  config.handshake_sharpness = 6.0;
+  TrafficGenerator generator(config);
+  Dataset dataset = GenerateDataset(generator, {12, 2, 4}, /*seed=*/9);
+  MethodRunOptions options;
+  CrossValidationSummary cv =
+      CrossValidate(PrefixEctsMethod(), /*hyper=*/2.0, dataset, 3, options);
+  EXPECT_EQ(cv.folds, 3);
+  EXPECT_GT(cv.mean.num_sequences, 0);
+  EXPECT_GE(cv.mean.accuracy, 0.0);
+  EXPECT_LE(cv.mean.accuracy, 1.0);
+  EXPECT_GE(cv.mean.harmonic_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace kvec

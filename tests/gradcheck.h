@@ -1,0 +1,54 @@
+// Finite-difference gradient checking for autograd tests.
+#ifndef KVEC_TESTS_GRADCHECK_H_
+#define KVEC_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace kvec {
+namespace testing {
+
+// Checks d(forward())/d(input[i][j]) against central differences for every
+// element of every input. `forward` must rebuild the graph on each call and
+// return a scalar tensor computed from `inputs`.
+inline void ExpectGradientsMatch(const std::vector<Tensor>& inputs,
+                                 const std::function<Tensor()>& forward,
+                                 float eps = 1e-2f, float tol = 4e-2f) {
+  // Analytic gradients.
+  for (const Tensor& input : inputs) {
+    ASSERT_TRUE(input.requires_grad());
+    const_cast<Tensor&>(input).ZeroGrad();
+  }
+  Tensor loss = forward();
+  ASSERT_EQ(loss.size(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (const Tensor& input : inputs) analytic.push_back(input.grad());
+
+  // Numeric gradients.
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    Tensor input = inputs[which];
+    for (size_t i = 0; i < input.data().size(); ++i) {
+      const float saved = input.data()[i];
+      input.impl()->data[i] = saved + eps;
+      const float up = forward().ScalarValue();
+      input.impl()->data[i] = saved - eps;
+      const float down = forward().ScalarValue();
+      input.impl()->data[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic[which][i];
+      EXPECT_NEAR(got, numeric, tol * (1.0f + std::fabs(numeric)))
+          << "input " << which << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace kvec
+
+#endif  // KVEC_TESTS_GRADCHECK_H_

@@ -1,0 +1,199 @@
+// End-to-end integration tests: full pipeline from preset generation
+// through training, evaluation, checkpointing and streaming inference.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/online.h"
+#include "core/stream_server.h"
+#include "core/trainer.h"
+#include "data/presets.h"
+#include "data/stats.h"
+#include "exp/method.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+TEST(IntegrationTest, TinyPresetPipeline) {
+  Dataset dataset =
+      MakePresetDataset(PresetId::kUstcTfc2016, ExperimentScale::kTiny, 71);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 16;
+  config.state_dim = 16;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 24;
+  config.epochs = 2;
+  config.seed = 9;
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  std::vector<TrainEpochStats> history = trainer.Train(dataset.train);
+  ASSERT_EQ(history.size(), 2u);
+  EvaluationResult result = trainer.Evaluate(dataset.test);
+  EXPECT_GT(result.summary.num_sequences, 0);
+  // 9 classes, tiny training budget: just demand better than random.
+  EXPECT_GT(result.summary.accuracy, 1.0 / 9.0);
+  EXPECT_GT(result.summary.earliness, 0.0);
+  EXPECT_LE(result.summary.earliness, 1.0);
+}
+
+TEST(IntegrationTest, CheckpointPreservesEvaluation) {
+  Dataset dataset =
+      MakePresetDataset(PresetId::kSyntheticEarly, ExperimentScale::kTiny, 72);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 12;
+  config.num_blocks = 1;
+  config.epochs = 2;
+  config.seed = 10;
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  trainer.Train(dataset.train);
+  EvaluationResult before = trainer.Evaluate(dataset.test);
+
+  std::string path = ::testing::TempDir() + "/kvec_integration_ckpt.bin";
+  ASSERT_TRUE(model.SaveToFile(path));
+  config.seed = 999;  // fresh random weights
+  KvecModel restored(config);
+  ASSERT_TRUE(restored.LoadFromFile(path));
+  KvecTrainer restored_trainer(&restored);
+  EvaluationResult after = restored_trainer.Evaluate(dataset.test);
+  EXPECT_EQ(before.summary.accuracy, after.summary.accuracy);
+  EXPECT_EQ(before.summary.earliness, after.summary.earliness);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, StreamingEngineOnPresetStream) {
+  Dataset dataset =
+      MakePresetDataset(PresetId::kTrafficFg, ExperimentScale::kTiny, 73);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 12;
+  config.num_blocks = 1;
+  config.epochs = 1;
+  config.seed = 11;
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  trainer.TrainEpoch(dataset.train);
+
+  const TangledSequence& episode = dataset.test.front();
+  OnlineClassifier online(model);
+  int decisions = 0;
+  for (const Item& item : episode.items) {
+    OnlineDecision decision = online.Observe(item);
+    if (decision.halted_now) ++decisions;
+  }
+  for (const auto& [key, label] : episode.labels) {
+    if (!online.IsHalted(key)) {
+      EXPECT_GE(online.ForceClassify(key), 0);
+      ++decisions;
+    } else {
+      // already counted via halted_now or classified below
+    }
+  }
+  EXPECT_GE(decisions, 1);
+}
+
+TEST(IntegrationTest, TrueHaltSignalIsLearnableEarly) {
+  // On the early-stop synthetic dataset a trained KVEC should halt well
+  // before the end of the flow on average (the signal is in the first ten
+  // items) — the property Fig. 11 visualises.
+  Dataset dataset =
+      MakePresetDataset(PresetId::kSyntheticEarly, ExperimentScale::kTiny, 74);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 16;
+  config.state_dim = 16;
+  config.num_blocks = 1;
+  config.epochs = 6;
+  config.beta = 2e-1f;  // encourage earliness
+  config.seed = 12;
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  trainer.Train(dataset.train);
+  EvaluationResult result = trainer.Evaluate(dataset.test);
+  EXPECT_LT(result.summary.earliness, 0.9);
+  for (const HaltingRecord& halt : result.halts) {
+    EXPECT_GT(halt.true_halt_position, 0);  // ground truth present
+  }
+}
+
+TEST(IntegrationTest, FullLifecycleTrainCheckpointServeConsistently) {
+  // The whole production path: train -> checkpoint -> reload in a fresh
+  // process stand-in -> offline evaluation, plain streaming engine, and
+  // bounded StreamServer must agree on the same stream.
+  Dataset dataset =
+      MakePresetDataset(PresetId::kTrafficFg, ExperimentScale::kTiny, 81);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 16;
+  config.state_dim = 16;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 24;
+  config.epochs = 3;
+  config.beta = 1e-2f;
+  config.seed = 13;
+
+  const std::string path = ::testing::TempDir() + "/kvec_lifecycle.ckpt";
+  {
+    KvecModel trainee(config);
+    KvecTrainer trainer(&trainee);
+    trainer.Train(dataset.train);
+    ASSERT_TRUE(trainee.SaveToFile(path));
+  }
+
+  KvecModel model(config);
+  ASSERT_TRUE(model.LoadFromFile(path));
+  KvecTrainer evaluator(&model);
+  const TangledSequence& stream = dataset.test.front();
+  EvaluationResult offline = evaluator.Evaluate({stream});
+
+  // Plain streaming engine.
+  OnlineClassifier engine(model);
+  std::map<int, int> online_verdicts;
+  for (const Item& item : stream.items) {
+    OnlineDecision decision = engine.Observe(item);
+    if (decision.halted_now) {
+      online_verdicts[decision.key] = decision.predicted_label;
+    }
+  }
+  for (const auto& [key, label] : stream.labels) {
+    if (!online_verdicts.count(key)) {
+      online_verdicts[key] = engine.ForceClassify(key);
+    }
+  }
+
+  // Bounded server with bounds large enough to never trigger.
+  StreamServer server(model, {});
+  std::map<int, int> server_verdicts;
+  for (const Item& item : stream.items) {
+    for (const StreamEvent& event : server.Observe(item)) {
+      server_verdicts[event.key] = event.predicted_label;
+    }
+  }
+  for (const StreamEvent& event : server.Flush()) {
+    server_verdicts[event.key] = event.predicted_label;
+  }
+
+  ASSERT_EQ(offline.records.size(), online_verdicts.size());
+  ASSERT_EQ(online_verdicts, server_verdicts);
+  // Offline evaluation and streaming inference agree per key.
+  std::map<int, int> offline_verdicts;
+  for (size_t i = 0; i < offline.records.size(); ++i) {
+    offline_verdicts[offline.halts[i].key] =
+        offline.records[i].predicted_label;
+  }
+  EXPECT_EQ(offline_verdicts, online_verdicts);
+}
+
+TEST(IntegrationTest, DatasetStatsShapedLikeTableOne) {
+  Dataset dataset =
+      MakePresetDataset(PresetId::kUstcTfc2016, ExperimentScale::kSmall, 75);
+  DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_EQ(stats.num_classes, 9);
+  // Scaled lengths: shape preserved (long bursts), magnitude scaled.
+  EXPECT_GT(stats.avg_session_length, 3.0);
+  EXPECT_GT(stats.avg_sequence_length, 10.0);
+}
+
+}  // namespace
+}  // namespace kvec

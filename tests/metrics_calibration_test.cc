@@ -1,0 +1,113 @@
+#include "metrics/calibration.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace {
+
+PredictionRecord Record(double confidence, bool correct) {
+  PredictionRecord record;
+  record.true_label = 0;
+  record.predicted_label = correct ? 0 : 1;
+  record.confidence = confidence;
+  record.observed_items = 1;
+  record.sequence_length = 1;
+  return record;
+}
+
+TEST(ReliabilityBinsTest, BinBoundariesAndCounts) {
+  std::vector<PredictionRecord> records = {
+      Record(0.05, true), Record(0.15, false), Record(0.95, true),
+      Record(1.0, true),  // exactly 1.0 -> last bin
+  };
+  std::vector<CalibrationBin> bins = ReliabilityBins(records, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1);
+  EXPECT_EQ(bins[1].count, 1);
+  EXPECT_EQ(bins[9].count, 2);
+  EXPECT_DOUBLE_EQ(bins[0].lower, 0.0);
+  EXPECT_DOUBLE_EQ(bins[9].upper, 1.0);
+}
+
+TEST(ReliabilityBinsTest, PerBinAccuracyAndConfidence) {
+  std::vector<PredictionRecord> records = {
+      Record(0.82, true), Record(0.84, false), Record(0.86, true),
+      Record(0.88, true)};
+  std::vector<CalibrationBin> bins = ReliabilityBins(records, 10);
+  const CalibrationBin& bin = bins[8];  // [0.8, 0.9)
+  EXPECT_EQ(bin.count, 4);
+  EXPECT_NEAR(bin.mean_confidence, 0.85, 1e-9);
+  EXPECT_NEAR(bin.accuracy, 0.75, 1e-9);
+}
+
+TEST(ExpectedCalibrationErrorTest, PerfectCalibrationIsZero) {
+  // In each bin, accuracy equals mean confidence exactly.
+  std::vector<PredictionRecord> records;
+  // Bin [0.7, 0.8): 4 records at 0.75, 3 correct -> accuracy 0.75.
+  for (int i = 0; i < 3; ++i) records.push_back(Record(0.75, true));
+  records.push_back(Record(0.75, false));
+  EXPECT_NEAR(ExpectedCalibrationError(records, 10), 0.0, 1e-9);
+}
+
+TEST(ExpectedCalibrationErrorTest, OverconfidenceIsPositive) {
+  // All predictions claim 0.95 confidence but only half are right.
+  std::vector<PredictionRecord> records;
+  for (int i = 0; i < 10; ++i) records.push_back(Record(0.95, i % 2 == 0));
+  const double ece = ExpectedCalibrationError(records, 10);
+  EXPECT_NEAR(ece, 0.95 - 0.5, 1e-9);
+  EXPECT_NEAR(MaximumCalibrationError(records, 10), ece, 1e-9);
+}
+
+TEST(ExpectedCalibrationErrorTest, EmptyInputIsZero) {
+  EXPECT_EQ(ExpectedCalibrationError({}, 10), 0.0);
+  EXPECT_EQ(MaximumCalibrationError({}, 10), 0.0);
+}
+
+TEST(ExpectedCalibrationErrorTest, WeightsBinsBySize) {
+  // A big well-calibrated bin plus a tiny badly calibrated one: the ECE is
+  // dominated by the big bin, the MCE by the bad one.
+  std::vector<PredictionRecord> records;
+  for (int i = 0; i < 90; ++i) records.push_back(Record(0.55, i < 49));
+  for (int i = 0; i < 10; ++i) records.push_back(Record(0.95, false));
+  const double ece = ExpectedCalibrationError(records, 10);
+  const double mce = MaximumCalibrationError(records, 10);
+  EXPECT_LT(ece, 0.2);
+  EXPECT_NEAR(mce, 0.95, 1e-9);
+}
+
+TEST(CalibrationReportTest, MentionsEceAndBins) {
+  std::vector<PredictionRecord> records = {Record(0.6, true),
+                                           Record(0.7, false)};
+  std::string report = CalibrationReport(records, 5);
+  EXPECT_NE(report.find("ECE"), std::string::npos);
+  EXPECT_NE(report.find("[0.60, 0.80)"), std::string::npos);
+}
+
+TEST(ReliabilityBinsDeathTest, RejectsZeroBins) {
+  EXPECT_DEATH(ReliabilityBins({}, 0), "check failed");
+}
+
+// Property: ECE is invariant to shuffling and bounded by MCE <= 1.
+TEST(CalibrationPropertyTest, EceBoundedByMce) {
+  Rng rng(5);
+  std::vector<PredictionRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(
+        Record(rng.NextDouble(), rng.NextBernoulli(0.6)));
+  }
+  const double ece = ExpectedCalibrationError(records, 10);
+  const double mce = MaximumCalibrationError(records, 10);
+  EXPECT_GE(ece, 0.0);
+  EXPECT_LE(ece, mce + 1e-12);
+  EXPECT_LE(mce, 1.0);
+  Rng shuffle_rng(6);
+  shuffle_rng.Shuffle(records);
+  EXPECT_NEAR(ExpectedCalibrationError(records, 10), ece, 1e-12);
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,129 @@
+#include "metrics/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+PredictionRecord Record(int truth, int predicted, int observed, int length) {
+  PredictionRecord record;
+  record.true_label = truth;
+  record.predicted_label = predicted;
+  record.observed_items = observed;
+  record.sequence_length = length;
+  return record;
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 1, 10),
+                                           Record(1, 1, 2, 10)};
+  EvaluationSummary summary = Evaluate(records, 2);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(summary.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(summary.macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(summary.macro_f1, 1.0);
+  EXPECT_NEAR(summary.earliness, (0.1 + 0.2) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, HandComputedConfusion) {
+  // Class 0: TP=1, FN=1 (third record predicted 1); class 1: TP=1, FP=1.
+  std::vector<PredictionRecord> records = {
+      Record(0, 0, 5, 10), Record(1, 1, 5, 10), Record(0, 1, 5, 10)};
+  EvaluationSummary summary = Evaluate(records, 2);
+  EXPECT_NEAR(summary.accuracy, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(summary.macro_precision, 0.75, 1e-12);  // (1/1 + 1/2) / 2
+  EXPECT_NEAR(summary.macro_recall, 0.75, 1e-12);     // (1/2 + 1/1) / 2
+}
+
+TEST(MetricsTest, AbsentClassesSkippedInMacro) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 1, 4)};
+  EvaluationSummary summary = Evaluate(records, 5);
+  EXPECT_DOUBLE_EQ(summary.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(summary.macro_recall, 1.0);
+}
+
+TEST(MetricsTest, EarlinessIsMeanOfRatios) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 2, 4),
+                                           Record(0, 0, 10, 10)};
+  EvaluationSummary summary = Evaluate(records, 1);
+  EXPECT_NEAR(summary.earliness, (0.5 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyRecords) {
+  EvaluationSummary summary = Evaluate({}, 3);
+  EXPECT_EQ(summary.num_sequences, 0);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 0.0);
+}
+
+TEST(HarmonicMeanTest, MatchesFormula) {
+  EXPECT_NEAR(HarmonicMean(0.8, 0.2), 2 * 0.8 * 0.8 / (0.8 + 0.8), 1e-12);
+  EXPECT_NEAR(HarmonicMean(1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(HarmonicMeanTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 0.5), 0.0);
+}
+
+TEST(HarmonicMeanTest, SymmetricInAccuracyAndTimeliness) {
+  EXPECT_NEAR(HarmonicMean(0.6, 1.0 - 0.9), HarmonicMean(0.9, 1.0 - 0.6),
+              1e-12);
+}
+
+TEST(HarmonicMeanTest, BoundedByComponents) {
+  // HM lies between min and max of (accuracy, 1 - earliness).
+  double hm = HarmonicMean(0.9, 0.5);
+  EXPECT_GE(hm, 0.5);  // min(0.9, 1 - 0.5)
+  EXPECT_LE(hm, 0.9);  // max
+}
+
+TEST(MetricsTest, SummaryHmConsistent) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 3, 10),
+                                           Record(1, 0, 4, 10)};
+  EvaluationSummary summary = Evaluate(records, 2);
+  EXPECT_NEAR(summary.harmonic_mean,
+              HarmonicMean(summary.accuracy, summary.earliness), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  std::vector<PredictionRecord> records = {
+      Record(0, 0, 1, 2), Record(0, 1, 1, 2), Record(1, 1, 1, 2),
+      Record(1, 1, 1, 2)};
+  auto matrix = ConfusionMatrix(records, 2);
+  EXPECT_EQ(matrix[0][0], 1);
+  EXPECT_EQ(matrix[0][1], 1);
+  EXPECT_EQ(matrix[1][0], 0);
+  EXPECT_EQ(matrix[1][1], 2);
+}
+
+TEST(ClassificationReportTest, ContainsPerClassRowsAndMacro) {
+  std::vector<PredictionRecord> records = {
+      Record(0, 0, 1, 2), Record(1, 0, 1, 2), Record(1, 1, 1, 2)};
+  std::string report = ClassificationReport(records, 2);
+  EXPECT_NE(report.find("macro avg"), std::string::npos);
+  EXPECT_NE(report.find("precision"), std::string::npos);
+  // Class 0: precision 1/2, recall 1/1.
+  EXPECT_NE(report.find("0.500"), std::string::npos);
+}
+
+TEST(ClassificationReportTest, SkipsAbsentClasses) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 1, 2)};
+  std::string report = ClassificationReport(records, 10);
+  // Only class 0 and the macro row: three lines of header/sep + 2 rows.
+  int rows = 0;
+  for (char c : report) rows += (c == '\n');
+  EXPECT_EQ(rows, 4);
+}
+
+TEST(MetricsDeathTest, RejectsOutOfRangeLabel) {
+  std::vector<PredictionRecord> records = {Record(5, 0, 1, 2)};
+  EXPECT_DEATH(Evaluate(records, 2), "check failed");
+}
+
+TEST(MetricsDeathTest, RejectsObservedBeyondLength) {
+  std::vector<PredictionRecord> records = {Record(0, 0, 11, 10)};
+  EXPECT_DEATH(Evaluate(records, 2), "check failed");
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,250 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace kvec {
+namespace {
+
+Tensor CausalMask(int t) {
+  Tensor mask = Tensor::Full(t, t, 0.0f);
+  for (int i = 0; i < t; ++i) {
+    for (int j = i + 1; j < t; ++j) mask.Set(i, j, ops::kNegInf);
+  }
+  return mask;
+}
+
+TEST(MaskedSelfAttentionTest, OutputShapes) {
+  Rng rng(1);
+  MaskedSelfAttention attention(8, rng);
+  Tensor x = nn::NormalInit(5, 8, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(5));
+  EXPECT_EQ(result.output.rows(), 5);
+  EXPECT_EQ(result.output.cols(), 8);
+  EXPECT_EQ(result.weights.rows(), 5);
+  EXPECT_EQ(result.weights.cols(), 5);
+}
+
+TEST(MaskedSelfAttentionTest, WeightsRowsSumToOne) {
+  Rng rng(2);
+  MaskedSelfAttention attention(4, rng);
+  Tensor x = nn::NormalInit(6, 4, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(6));
+  for (int r = 0; r < 6; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 6; ++c) total += result.weights.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(MaskedSelfAttentionTest, MaskedPositionsGetZeroWeight) {
+  Rng rng(3);
+  MaskedSelfAttention attention(4, rng);
+  Tensor x = nn::NormalInit(6, 4, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(6));
+  for (int r = 0; r < 6; ++r) {
+    for (int c = r + 1; c < 6; ++c) {
+      EXPECT_EQ(result.weights.At(r, c), 0.0f);
+    }
+  }
+}
+
+TEST(MaskedSelfAttentionTest, FirstRowAttendsOnlyToItself) {
+  Rng rng(4);
+  MaskedSelfAttention attention(4, rng);
+  Tensor x = nn::NormalInit(3, 4, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(3));
+  EXPECT_NEAR(result.weights.At(0, 0), 1.0f, 1e-6f);
+}
+
+TEST(MaskedSelfAttentionTest, CausalPrefixConsistency) {
+  // Because masked rows only see earlier rows, encoding a prefix must give
+  // the same rows as encoding the full input (the property the streaming
+  // encoder relies on).
+  Rng rng(5);
+  MaskedSelfAttention attention(6, rng);
+  Tensor full = nn::NormalInit(8, 6, 1.0f, rng);
+  Tensor prefix = ops::SliceRows(full, 0, 5).Detach();
+  AttentionResult full_result = attention.Forward(full, CausalMask(8));
+  AttentionResult prefix_result = attention.Forward(prefix, CausalMask(5));
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_NEAR(full_result.output.At(r, c), prefix_result.output.At(r, c),
+                  1e-4f);
+    }
+  }
+}
+
+TEST(AttentionBlockTest, OutputShapeAndFiniteness) {
+  Rng rng(6);
+  AttentionBlock block(8, 16, 0.1f, rng);
+  Tensor x = nn::NormalInit(5, 8, 1.0f, rng);
+  AttentionResult result =
+      block.Forward(x, CausalMask(5), rng, /*training=*/false);
+  EXPECT_EQ(result.output.rows(), 5);
+  EXPECT_EQ(result.output.cols(), 8);
+  for (float v : result.output.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(AttentionBlockTest, InferenceIsDeterministic) {
+  Rng rng(7);
+  AttentionBlock block(4, 8, 0.5f, rng);
+  Tensor x = nn::NormalInit(4, 4, 1.0f, rng);
+  Rng eval_rng1(1), eval_rng2(2);
+  Tensor a =
+      block.Forward(x, CausalMask(4), eval_rng1, /*training=*/false).output;
+  Tensor b =
+      block.Forward(x, CausalMask(4), eval_rng2, /*training=*/false).output;
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(AttentionBlockTest, DropoutMakesTrainingStochastic) {
+  Rng rng(8);
+  AttentionBlock block(4, 8, 0.5f, rng);
+  Tensor x = nn::NormalInit(4, 4, 1.0f, rng);
+  Rng train_rng(9);
+  Tensor a =
+      block.Forward(x, CausalMask(4), train_rng, /*training=*/true).output;
+  Tensor b =
+      block.Forward(x, CausalMask(4), train_rng, /*training=*/true).output;
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(AttentionBlockTest, ParameterCount) {
+  Rng rng(10);
+  const int d = 8, h = 16;
+  AttentionBlock block(d, h, 0.0f, rng);
+  // Wq, Wk, Wv (d*d each, no bias) + FFN (d*h + h + h*d + d) + 2 LayerNorms
+  // (2*d each).
+  int64_t expected = 3 * d * d + (d * h + h + h * d + d) + 2 * (2 * d);
+  EXPECT_EQ(block.ParameterCount(), expected);
+}
+
+TEST(AttentionGradTest, GradientsFlowThroughBlock) {
+  Rng rng(11);
+  AttentionBlock block(4, 8, 0.0f, rng);
+  Tensor x = nn::NormalInit(3, 4, 0.5f, rng);
+  std::vector<Tensor> inputs = block.Parameters();
+  inputs.push_back(x);
+  Rng fwd_rng(12);
+  testing::ExpectGradientsMatch(
+      inputs,
+      [&]() {
+        return ops::SumAll(ops::Tanh(
+            block.Forward(x, CausalMask(3), fwd_rng, /*training=*/false)
+                .output));
+      },
+      /*eps=*/1e-2f, /*tol=*/6e-2f);
+}
+
+// ---- Multi-head attention ----
+
+class MultiHeadAttentionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiHeadAttentionTest, OutputShapesAcrossHeadCounts) {
+  const int heads = GetParam();
+  Rng rng(20);
+  MaskedSelfAttention attention(8, rng, heads);
+  Tensor x = nn::NormalInit(5, 8, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(5));
+  EXPECT_EQ(result.output.rows(), 5);
+  EXPECT_EQ(result.output.cols(), 8);
+  EXPECT_EQ(result.weights.rows(), 5);
+  EXPECT_EQ(result.weights.cols(), 5);
+  for (float v : result.output.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(MultiHeadAttentionTest, AveragedWeightsRowsSumToOne) {
+  const int heads = GetParam();
+  Rng rng(21);
+  MaskedSelfAttention attention(8, rng, heads);
+  Tensor x = nn::NormalInit(6, 8, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(6));
+  for (int r = 0; r < 6; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 6; ++c) total += result.weights.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(MultiHeadAttentionTest, MaskedPositionsStayZero) {
+  const int heads = GetParam();
+  Rng rng(22);
+  MaskedSelfAttention attention(8, rng, heads);
+  Tensor x = nn::NormalInit(6, 8, 1.0f, rng);
+  AttentionResult result = attention.Forward(x, CausalMask(6));
+  for (int r = 0; r < 6; ++r) {
+    for (int c = r + 1; c < 6; ++c) {
+      EXPECT_EQ(result.weights.At(r, c), 0.0f);
+    }
+  }
+}
+
+TEST_P(MultiHeadAttentionTest, CausalPrefixConsistency) {
+  const int heads = GetParam();
+  Rng rng(23);
+  MaskedSelfAttention attention(8, rng, heads);
+  Tensor full = nn::NormalInit(8, 8, 1.0f, rng);
+  Tensor prefix = ops::SliceRows(full, 0, 5).Detach();
+  AttentionResult full_result = attention.Forward(full, CausalMask(8));
+  AttentionResult prefix_result = attention.Forward(prefix, CausalMask(5));
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(full_result.output.At(r, c), prefix_result.output.At(r, c),
+                  1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeadCounts, MultiHeadAttentionTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(MultiHeadAttentionTest, SingleHeadHasNoOutputProjection) {
+  Rng rng(24);
+  MaskedSelfAttention one(8, rng, 1);
+  MaskedSelfAttention four(8, rng, 4);
+  EXPECT_EQ(one.output_projection(), nullptr);
+  ASSERT_NE(four.output_projection(), nullptr);
+  // Parameter counts: 3 d^2 for single head; + d^2 for W_o with heads.
+  EXPECT_EQ(one.ParameterCount(), 3 * 8 * 8);
+  EXPECT_EQ(four.ParameterCount(), 4 * 8 * 8);
+}
+
+TEST(MultiHeadAttentionTest, GradientsFlowThroughHeads) {
+  Rng rng(25);
+  MaskedSelfAttention attention(4, rng, 2);
+  Tensor x = nn::NormalInit(3, 4, 0.5f, rng);
+  std::vector<Tensor> inputs = attention.Parameters();
+  inputs.push_back(x);
+  testing::ExpectGradientsMatch(
+      inputs,
+      [&]() {
+        return ops::SumAll(
+            ops::Tanh(attention.Forward(x, CausalMask(3)).output));
+      },
+      /*eps=*/1e-2f, /*tol=*/6e-2f);
+}
+
+TEST(MultiHeadAttentionDeathTest, RejectsIndivisibleHeadCount) {
+  Rng rng(26);
+  EXPECT_DEATH(MaskedSelfAttention(6, rng, 4), "not divisible");
+}
+
+TEST(MultiHeadAttentionTest, BlockForwardsWithHeads) {
+  Rng rng(27);
+  AttentionBlock block(8, 16, 0.0f, rng, /*num_heads=*/2);
+  Tensor x = nn::NormalInit(5, 8, 1.0f, rng);
+  Rng eval_rng(1);
+  AttentionResult result =
+      block.Forward(x, CausalMask(5), eval_rng, /*training=*/false);
+  EXPECT_EQ(result.output.rows(), 5);
+  EXPECT_EQ(result.output.cols(), 8);
+  for (float v : result.output.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace kvec

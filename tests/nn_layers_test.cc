@@ -1,0 +1,183 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "util/serialize.h"
+
+namespace kvec {
+namespace {
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(1);
+  Tensor t = nn::XavierUniform(20, 30, rng);
+  float bound = std::sqrt(6.0f / 50.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(InitTest, NormalInitSpread) {
+  Rng rng(2);
+  Tensor t = nn::NormalInit(40, 40, 0.5f, rng);
+  double sum_sq = 0.0;
+  for (float v : t.data()) sum_sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sum_sq / t.size()), 0.5, 0.05);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(3);
+  Linear layer(2, 3, rng);
+  Tensor x = Tensor::FromData(1, 2, {1.0f, -2.0f});
+  Tensor y = layer.Forward(x);
+  for (int j = 0; j < 3; ++j) {
+    float expected = layer.weight().At(0, j) * 1.0f +
+                     layer.weight().At(1, j) * -2.0f + layer.bias().At(0, j);
+    EXPECT_NEAR(y.At(0, j), expected, 1e-5f);
+  }
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  Linear layer(3, 2, rng, /*use_bias=*/false);
+  std::vector<Tensor> params;
+  layer.CollectParameters(&params);
+  EXPECT_EQ(params.size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(5);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  layer.ZeroGrad();
+  ops::SumAll(layer.Forward(x)).Backward();
+  std::vector<Tensor> params = layer.Parameters();
+  for (const Tensor& param : params) {
+    float grad_norm = 0.0f;
+    for (float g : param.grad()) grad_norm += std::fabs(g);
+    EXPECT_GT(grad_norm, 0.0f);
+  }
+}
+
+TEST(EmbeddingTest, LookupMatchesTable) {
+  Rng rng(6);
+  Embedding embedding(10, 4, rng);
+  Tensor out = embedding.Forward({3, 7, 3});
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(out.At(0, c), embedding.table().At(3, c));
+    EXPECT_EQ(out.At(1, c), embedding.table().At(7, c));
+    EXPECT_EQ(out.At(2, c), out.At(0, c));
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(7);
+  LayerNorm norm(6);
+  Tensor x = Tensor::FromData(2, 6, {1, 2, 3, 4, 5, 6, -3, 0, 3, 6, 9, 12});
+  Tensor y = norm.Forward(x);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 6; ++c) mean += y.At(r, c);
+    mean /= 6.0f;
+    for (int c = 0; c < 6; ++c) {
+      var += (y.At(r, c) - mean) * (y.At(r, c) - mean);
+    }
+    var /= 6.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);  // gamma=1, beta=0 initially
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(FeedForwardTest, MatchesManualComputation) {
+  Rng rng(8);
+  FeedForward ffn(2, 3, rng);
+  Tensor x = Tensor::FromData(1, 2, {0.5f, -1.0f});
+  Tensor y = ffn.Forward(x);
+  Tensor hidden = ops::Relu(ffn.first().Forward(x));
+  Tensor expected = ffn.second().Forward(hidden);
+  for (int c = 0; c < 2; ++c) EXPECT_NEAR(y.At(0, c), expected.At(0, c), 1e-6f);
+}
+
+TEST(MlpTest, LayerSizesRespected) {
+  Rng rng(9);
+  Mlp mlp({4, 8, 2}, rng);
+  Tensor x = Tensor::Zeros(3, 4);
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(ModuleTest, ParameterCountLinear) {
+  Rng rng(10);
+  Linear layer(4, 5, rng);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 5 + 5);
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(11);
+  Linear a(3, 2, rng);
+  Linear b(3, 2, rng);  // different init
+  BinaryWriter writer;
+  a.SaveParameters(&writer);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadParameters(&reader));
+  EXPECT_EQ(a.weight().data(), b.weight().data());
+  EXPECT_EQ(a.bias().data(), b.bias().data());
+}
+
+TEST(ModuleTest, LoadRejectsShapeMismatch) {
+  Rng rng(12);
+  Linear a(3, 2, rng);
+  Linear b(2, 2, rng);
+  BinaryWriter writer;
+  a.SaveParameters(&writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(b.LoadParameters(&reader));
+}
+
+TEST(ModuleTest, ClipGradNormScalesDown) {
+  Tensor p = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  p.ZeroGrad();
+  p.impl()->grad = {3.0f, 4.0f};  // norm 5
+  double norm = ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(ModuleTest, ClipGradNormLeavesSmallGradients) {
+  Tensor p = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  p.ZeroGrad();
+  p.impl()->grad = {0.3f, 0.4f};
+  ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(p.grad()[0], 0.3f, 1e-6f);
+}
+
+// Property sweep: gradcheck Linear across shapes.
+class LinearGradParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LinearGradParam, GradcheckForwardSum) {
+  auto [in, out] = GetParam();
+  Rng rng(100 + in * 10 + out);
+  Linear layer(in, out, rng);
+  Tensor x = nn::NormalInit(2, in, 1.0f, rng);
+  std::vector<Tensor> inputs = layer.Parameters();
+  inputs.push_back(x);
+  testing::ExpectGradientsMatch(inputs, [&]() {
+    return ops::SumAll(ops::Tanh(layer.Forward(x)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearGradParam,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 3),
+                                           std::make_pair(4, 2),
+                                           std::make_pair(5, 5)));
+
+}  // namespace
+}  // namespace kvec

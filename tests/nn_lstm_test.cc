@@ -1,0 +1,114 @@
+#include "nn/lstm_cell.h"
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace kvec {
+namespace {
+
+TEST(LstmFusionCellTest, InitialStateIsZero) {
+  Rng rng(1);
+  LstmFusionCell cell(4, 6, rng);
+  LstmState state = cell.InitialState();
+  ASSERT_TRUE(state.defined());
+  EXPECT_EQ(state.hidden.cols(), 6);
+  EXPECT_EQ(state.cell.cols(), 6);
+  for (float v : state.hidden.data()) EXPECT_EQ(v, 0.0f);
+  for (float v : state.cell.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LstmFusionCellTest, StepShapesAndBounds) {
+  Rng rng(2);
+  LstmFusionCell cell(4, 6, rng);
+  LstmState state = cell.InitialState();
+  Tensor input = nn::NormalInit(1, 4, 1.0f, rng);
+  state = cell.Step(state, input);
+  EXPECT_EQ(state.hidden.rows(), 1);
+  EXPECT_EQ(state.hidden.cols(), 6);
+  // s = o ⊙ tanh(C) is bounded by (-1, 1).
+  for (float v : state.hidden.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(LstmFusionCellTest, StateEvolvesWithInputs) {
+  Rng rng(3);
+  LstmFusionCell cell(3, 4, rng);
+  LstmState state = cell.InitialState();
+  Tensor a = nn::NormalInit(1, 3, 1.0f, rng);
+  Tensor b = nn::NormalInit(1, 3, 1.0f, rng);
+  LstmState after_a = cell.Step(state, a);
+  LstmState after_ab = cell.Step(after_a, b);
+  float diff = 0.0f;
+  for (int c = 0; c < 4; ++c) {
+    diff += std::fabs(after_ab.hidden.At(0, c) - after_a.hidden.At(0, c));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(LstmFusionCellTest, DifferentInputsGiveDifferentStates) {
+  Rng rng(4);
+  LstmFusionCell cell(3, 4, rng);
+  Tensor a = nn::NormalInit(1, 3, 1.0f, rng);
+  Tensor b = nn::NormalInit(1, 3, 1.0f, rng);
+  LstmState sa = cell.Step(cell.InitialState(), a);
+  LstmState sb = cell.Step(cell.InitialState(), b);
+  float diff = 0.0f;
+  for (int c = 0; c < 4; ++c) {
+    diff += std::fabs(sa.hidden.At(0, c) - sb.hidden.At(0, c));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(LstmFusionCellTest, ForgetGateBiasInitializedOpen) {
+  Rng rng(5);
+  LstmFusionCell cell(3, 4, rng);
+  std::vector<Tensor> params = cell.Parameters();
+  // Parameters are (Wf, bf, Wi, bi, Wo, bo, Wc, bc); bf is index 1.
+  const Tensor& forget_bias = params[1];
+  for (float v : forget_bias.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(LstmFusionCellTest, ParameterCount) {
+  Rng rng(6);
+  const int in = 3, state = 4;
+  LstmFusionCell cell(in, state, rng);
+  EXPECT_EQ(cell.ParameterCount(), 4 * ((in + state) * state + state));
+}
+
+TEST(LstmFusionCellTest, GradientsFlowThroughTwoSteps) {
+  Rng rng(7);
+  LstmFusionCell cell(2, 3, rng);
+  Tensor x1 = nn::NormalInit(1, 2, 1.0f, rng);
+  Tensor x2 = nn::NormalInit(1, 2, 1.0f, rng);
+  std::vector<Tensor> inputs = cell.Parameters();
+  inputs.push_back(x1);
+  inputs.push_back(x2);
+  testing::ExpectGradientsMatch(inputs, [&]() {
+    LstmState state = cell.InitialState();
+    state = cell.Step(state, x1);
+    state = cell.Step(state, x2);
+    return ops::SumAll(state.hidden);
+  });
+}
+
+TEST(LstmFusionCellTest, LongRollNumericallyStable) {
+  Rng rng(8);
+  LstmFusionCell cell(4, 8, rng);
+  LstmState state = cell.InitialState();
+  for (int t = 0; t < 200; ++t) {
+    Tensor input = nn::NormalInit(1, 4, 1.0f, rng);
+    state = cell.Step(state, input.Detach());
+    state.hidden = state.hidden.Detach();
+    state.cell = state.cell.Detach();
+  }
+  for (float v : state.hidden.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace kvec

@@ -1,0 +1,193 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace kvec {
+namespace {
+
+// Minimises f(x) = (x - target)^2 elementwise with the given optimizer.
+template <typename Opt>
+double MinimizeQuadratic(Opt& optimizer, Tensor x,
+                         const std::vector<float>& target, int steps) {
+  for (int step = 0; step < steps; ++step) {
+    optimizer.ZeroGrad();
+    Tensor diff =
+        ops::Sub(x, Tensor::FromData(1, static_cast<int>(target.size()),
+                                     target));
+    ops::SumAll(ops::Mul(diff, diff)).Backward();
+    optimizer.Step();
+  }
+  double error = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    error += std::fabs(x.data()[i] - target[i]);
+  }
+  return error;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromData(1, 3, {5.0f, -4.0f, 0.5f},
+                              /*requires_grad=*/true);
+  Sgd sgd({x}, 0.1f);
+  double error = MinimizeQuadratic(sgd, x, {1.0f, 2.0f, -3.0f}, 100);
+  EXPECT_LT(error, 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Tensor x = Tensor::FromData(1, 2, {10.0f, -10.0f}, /*requires_grad=*/true);
+  Sgd sgd({x}, 0.05f, 0.9f);
+  double error = MinimizeQuadratic(sgd, x, {0.0f, 0.0f}, 200);
+  EXPECT_LT(error, 1e-3);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromData(1, 3, {5.0f, -4.0f, 0.5f},
+                              /*requires_grad=*/true);
+  Adam adam({x}, 0.1f);
+  double error = MinimizeQuadratic(adam, x, {1.0f, 2.0f, -3.0f}, 300);
+  EXPECT_LT(error, 1e-2);
+}
+
+TEST(AdamTest, SingleStepDirectionAndMagnitude) {
+  // With bias correction the very first Adam step is ±lr per coordinate.
+  Tensor x = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  Adam adam({x}, 0.5f);
+  x.ZeroGrad();
+  x.impl()->grad = {3.0f, -7.0f};
+  adam.Step();
+  EXPECT_NEAR(x.data()[0], -0.5f, 1e-4f);
+  EXPECT_NEAR(x.data()[1], 0.5f, 1e-4f);
+}
+
+TEST(AdamTest, ZeroGradientMeansNoUpdate) {
+  Tensor x = Tensor::FromData(1, 2, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Adam adam({x}, 0.5f);
+  x.ZeroGrad();
+  adam.Step();
+  EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(x.data()[1], 2.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParams) {
+  Tensor a = Tensor::FromData(1, 1, {1.0f}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromData(1, 1, {2.0f}, /*requires_grad=*/true);
+  ops::SumAll(ops::Mul(a, b)).Backward();
+  Sgd sgd({a, b}, 0.1f);
+  sgd.ZeroGrad();
+  EXPECT_EQ(a.grad()[0], 0.0f);
+  EXPECT_EQ(b.grad()[0], 0.0f);
+}
+
+TEST(OptimizerTest, TrainsLinearRegression) {
+  // y = 2x - 1 from noisy-free data; a Linear layer must recover it.
+  Rng rng(1);
+  Linear layer(1, 1, rng);
+  Adam adam(layer.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    float xv = static_cast<float>(rng.NextUniform(-2.0, 2.0));
+    Tensor x = Tensor::FromData(1, 1, {xv});
+    adam.ZeroGrad();
+    Tensor prediction = layer.Forward(x);
+    ops::MseLoss(prediction, {2.0f * xv - 1.0f}).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(layer.weight().At(0, 0), 2.0f, 0.1f);
+  EXPECT_NEAR(layer.bias().At(0, 0), -1.0f, 0.1f);
+}
+
+TEST(OptimizerDeathTest, RejectsNonGradParameters) {
+  Tensor x = Tensor::Zeros(1, 1);  // requires_grad = false
+  EXPECT_DEATH(Sgd({x}, 0.1f), "does not require grad");
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromData(1, 3, {5.0f, -4.0f, 0.5f},
+                              /*requires_grad=*/true);
+  AdamW adamw({x}, 0.1f, /*weight_decay=*/0.0f);
+  double error = MinimizeQuadratic(adamw, x, {1.0f, 2.0f, -3.0f}, 300);
+  EXPECT_LT(error, 1e-2);
+}
+
+TEST(AdamWTest, ZeroDecayMatchesAdam) {
+  Tensor xa = Tensor::FromData(1, 2, {1.0f, -2.0f}, /*requires_grad=*/true);
+  Tensor xw = Tensor::FromData(1, 2, {1.0f, -2.0f}, /*requires_grad=*/true);
+  Adam adam({xa}, 0.05f);
+  AdamW adamw({xw}, 0.05f, /*weight_decay=*/0.0f);
+  for (int step = 0; step < 20; ++step) {
+    xa.ZeroGrad();
+    xw.ZeroGrad();
+    xa.impl()->EnsureGrad();
+    xw.impl()->EnsureGrad();
+    xa.impl()->grad = {0.3f, -0.7f};
+    xw.impl()->grad = {0.3f, -0.7f};
+    adam.Step();
+    adamw.Step();
+  }
+  EXPECT_NEAR(xa.data()[0], xw.data()[0], 1e-6f);
+  EXPECT_NEAR(xa.data()[1], xw.data()[1], 1e-6f);
+}
+
+TEST(AdamWTest, DecayShrinksWeightsWithZeroGradient) {
+  // With zero gradients, AdamW still multiplies weights by (1 - lr*decay)
+  // each step — the decoupled decay acts independently of the gradient.
+  Tensor x = Tensor::FromData(1, 2, {4.0f, -8.0f}, /*requires_grad=*/true);
+  AdamW adamw({x}, /*learning_rate=*/0.1f, /*weight_decay=*/0.5f);
+  x.ZeroGrad();
+  adamw.Step();
+  EXPECT_NEAR(x.data()[0], 4.0f * (1.0f - 0.1f * 0.5f), 1e-5f);
+  EXPECT_NEAR(x.data()[1], -8.0f * (1.0f - 0.1f * 0.5f), 1e-5f);
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromData(1, 3, {5.0f, -4.0f, 0.5f},
+                              /*requires_grad=*/true);
+  RmsProp rmsprop({x}, 0.05f);
+  double error = MinimizeQuadratic(rmsprop, x, {1.0f, 2.0f, -3.0f}, 500);
+  EXPECT_LT(error, 1e-2);
+}
+
+TEST(RmsPropTest, MomentumConverges) {
+  Tensor x = Tensor::FromData(1, 2, {10.0f, -10.0f}, /*requires_grad=*/true);
+  RmsProp rmsprop({x}, 0.01f, /*decay=*/0.9f, /*momentum=*/0.9f);
+  double error = MinimizeQuadratic(rmsprop, x, {0.0f, 0.0f}, 800);
+  EXPECT_LT(error, 1e-2);
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  Tensor x = Tensor::FromData(1, 1, {1.0f}, /*requires_grad=*/true);
+  Adam adam({x}, 0.25f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.25f);
+  adam.set_learning_rate(0.125f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.125f);
+}
+
+// Every optimizer must leave parameters untouched when gradients are zero
+// (AdamW with nonzero decay is the deliberate exception, tested above).
+template <typename Opt>
+void ExpectNoUpdateOnZeroGrad(Opt&& optimizer, Tensor x) {
+  x.ZeroGrad();
+  optimizer.Step();
+  EXPECT_FLOAT_EQ(x.data()[0], 1.5f);
+}
+
+TEST(OptimizerTest, ZeroGradientNoUpdateAcrossOptimizers) {
+  {
+    Tensor x = Tensor::FromData(1, 1, {1.5f}, /*requires_grad=*/true);
+    ExpectNoUpdateOnZeroGrad(Sgd({x}, 0.1f, 0.9f), x);
+  }
+  {
+    Tensor x = Tensor::FromData(1, 1, {1.5f}, /*requires_grad=*/true);
+    ExpectNoUpdateOnZeroGrad(RmsProp({x}, 0.1f), x);
+  }
+  {
+    Tensor x = Tensor::FromData(1, 1, {1.5f}, /*requires_grad=*/true);
+    ExpectNoUpdateOnZeroGrad(AdamW({x}, 0.1f, /*weight_decay=*/0.0f), x);
+  }
+}
+
+}  // namespace
+}  // namespace kvec

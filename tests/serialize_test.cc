@@ -1,0 +1,74 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  BinaryWriter writer;
+  writer.WriteInt32(-42);
+  writer.WriteInt64(1234567890123LL);
+  writer.WriteFloat(3.25f);
+  writer.WriteString("hello kvec");
+  writer.WriteFloatVector({1.0f, -2.5f, 0.0f});
+  writer.WriteIntVector({7, 8, 9});
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadInt32(), -42);
+  EXPECT_EQ(reader.ReadInt64(), 1234567890123LL);
+  EXPECT_EQ(reader.ReadFloat(), 3.25f);
+  EXPECT_EQ(reader.ReadString(), "hello kvec");
+  EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{1.0f, -2.5f, 0.0f}));
+  EXPECT_EQ(reader.ReadIntVector(), (std::vector<int>{7, 8, 9}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, EmptyContainers) {
+  BinaryWriter writer;
+  writer.WriteString("");
+  writer.WriteFloatVector({});
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/kvec_serialize_test.bin";
+  BinaryWriter writer;
+  writer.WriteInt32(99);
+  writer.WriteFloatVector({0.5f, 1.5f});
+  ASSERT_TRUE(writer.SaveToFile(path));
+
+  BinaryReader reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.ReadInt32(), 99);
+  EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{0.5f, 1.5f}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileReportsNotOk) {
+  BinaryReader reader = BinaryReader::FromFile("/nonexistent/kvec.bin");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeDeathTest, TypeMismatchAborts) {
+  BinaryWriter writer;
+  writer.WriteInt32(1);
+  BinaryReader reader(writer.buffer());
+  EXPECT_DEATH(reader.ReadFloat(), "type mismatch");
+}
+
+TEST(SerializeDeathTest, TruncatedBufferAborts) {
+  BinaryWriter writer;
+  writer.WriteFloatVector({1.0f, 2.0f, 3.0f});
+  std::string truncated = writer.buffer().substr(0, 10);
+  BinaryReader reader(truncated);
+  EXPECT_DEATH(reader.ReadFloatVector(), "truncated");
+}
+
+}  // namespace
+}  // namespace kvec
