@@ -24,7 +24,7 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_MaskedSoftmax(benchmark::State& state) {
   const int t = static_cast<int>(state.range(0));

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the PR-1 performance-tracking benchmarks and emits BENCH_PR1.json
+# (ops/sec for matmul, masked softmax, and the end-to-end incremental
+# encoder step).
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [out_json]
+#   build_dir  defaults to ./build (must contain micro_ops / micro_encoder)
+#   out_json   defaults to ./BENCH_PR1.json
+#
+# Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
+# single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
+# stay comparable.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_PR1.json}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+export KVEC_NUM_THREADS="${KVEC_NUM_THREADS:-1}"
+
+"${BUILD_DIR}/micro_ops" \
+  --benchmark_filter='BM_MatMul/|BM_MaskedSoftmax' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/ops.json" --benchmark_out_format=json
+
+"${BUILD_DIR}/micro_encoder" \
+  --benchmark_filter='BM_IncrementalStreamEncode' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/encoder.json" --benchmark_out_format=json
+
+python3 - "${TMP_DIR}/ops.json" "${TMP_DIR}/encoder.json" "${OUT_JSON}" <<'EOF'
+import json
+import sys
+
+merged = {"context": None, "benchmarks": {}}
+for path in sys.argv[1:-1]:
+    with open(path) as f:
+        report = json.load(f)
+    if merged["context"] is None:
+        ctx = report.get("context", {})
+        merged["context"] = {
+            "date": ctx.get("date"),
+            "host_name": ctx.get("host_name"),
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "kvec_num_threads": __import__("os").environ.get("KVEC_NUM_THREADS"),
+        }
+    for bench in report.get("benchmarks", []):
+        merged["benchmarks"][bench["name"]] = {
+            "real_time_ns": bench["real_time"],
+            "items_per_second": bench.get("items_per_second"),
+        }
+
+with open(sys.argv[-1], "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[-1]}")
+EOF

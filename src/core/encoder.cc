@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -49,16 +50,12 @@ void IncrementalEncoder::LinearRow(const std::vector<float>& x,
                                    std::vector<float>* y) {
   const int in = weight.rows(), out = weight.cols();
   KVEC_DCHECK(static_cast<int>(x.size()) == in);
-  y->assign(out, 0.0f);
-  const float* w = weight.data().data();
-  for (int i = 0; i < in; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0f) continue;
-    const float* w_row = w + static_cast<size_t>(i) * out;
-    for (int j = 0; j < out; ++j) (*y)[j] += xi * w_row[j];
-  }
+  y->resize(out);
+  kernels::VecMat(x.data(), weight.data().data(), y->data(), in, out,
+                  /*accumulate=*/false);
   if (bias.defined()) {
-    for (int j = 0; j < out; ++j) (*y)[j] += bias.data()[j];
+    const float* b = bias.data().data();
+    for (int j = 0; j < out; ++j) (*y)[j] += b[j];
   }
 }
 
@@ -79,7 +76,6 @@ void IncrementalEncoder::LayerNormRow(const Tensor& gamma, const Tensor& beta,
 
 std::vector<float> IncrementalEncoder::AppendItem(
     const Item& item, int position_in_key, const std::vector<int>& visible) {
-  const KvecConfig& config = encoder_.config();
   const int t = num_items_++;
 
   // ---- Input embedding row: sum of the four embedding families. This
@@ -117,9 +113,7 @@ std::vector<float> IncrementalEncoder::AppendItem(
       for (size_t s = 0; s < targets.size(); ++s) {
         const float* kj =
             cache.keys.data() + static_cast<size_t>(targets[s]) * dim_ + begin;
-        float dot = 0.0f;
-        for (int c = 0; c < head_dim; ++c) dot += q[begin + c] * kj[c];
-        scores[s] = dot * scale;
+        scores[s] = kernels::Dot(q.data() + begin, kj, head_dim) * scale;
         max_score = std::max(max_score, scores[s]);
       }
       float total = 0.0f;

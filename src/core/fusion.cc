@@ -6,8 +6,12 @@
 namespace kvec {
 
 void FusionState::DetachInPlace() {
-  if (hidden.defined()) hidden = hidden.Detach();
-  if (cell.defined()) cell = cell.Detach();
+  // Tensors that don't require grad never carry parents/backward_fn
+  // (MakeOpOutput's invariant), so states produced under InferenceMode are
+  // already detached and keep their storage — copying them would defeat the
+  // zero-allocation serving path.
+  if (hidden.defined() && hidden.requires_grad()) hidden = hidden.Detach();
+  if (cell.defined() && cell.requires_grad()) cell = cell.Detach();
 }
 
 EmbeddingFusion::EmbeddingFusion(const KvecConfig& config, Rng& rng)

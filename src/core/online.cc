@@ -11,6 +11,9 @@ OnlineClassifier::OnlineClassifier(const KvecModel& model)
       tracker_(model.config().correlation) {}
 
 OnlineDecision OnlineClassifier::Observe(const Item& item) {
+  // Pure serving: no op below may record tape nodes, so the fusion step and
+  // head evaluations build zero graph (no Detach() cleanup required).
+  InferenceMode inference_guard;
   OnlineDecision decision;
   decision.key = item.key;
 
@@ -55,6 +58,7 @@ OnlineDecision OnlineClassifier::Observe(const Item& item) {
 }
 
 int OnlineClassifier::ForceClassify(int key, double* confidence) {
+  InferenceMode inference_guard;
   auto it = keys_.find(key);
   if (it == keys_.end() || it->second.observed == 0) {
     if (confidence != nullptr) *confidence = 0.0;

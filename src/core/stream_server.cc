@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/tensor.h"
 #include "util/check.h"
 
 namespace kvec {
@@ -82,6 +83,9 @@ void StreamServer::EvictIdle(std::vector<StreamEvent>* events) {
 }
 
 std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
+  // Belt and braces with OnlineClassifier's own guard: everything the
+  // serving loop does (engine steps, forced closes, rotations) runs tapeless.
+  InferenceMode inference_guard;
   std::vector<StreamEvent> events;
   if (window_items_ >= config_.max_window_items) RotateWindow(&events);
 

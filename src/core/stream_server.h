@@ -79,7 +79,11 @@ class StreamServer {
 
   // Feeds the next stream item; returns every classification event it
   // triggered (the item's own policy halt, plus any evictions/rotation).
+  // Runs entirely under InferenceMode: no autograd tape is built.
   std::vector<StreamEvent> Observe(const Item& item);
+
+  // Serving-API alias for Observe.
+  std::vector<StreamEvent> Push(const Item& item) { return Observe(item); }
 
   // Force-classifies all still-open keys (end of stream).
   std::vector<StreamEvent> Flush();

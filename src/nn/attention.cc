@@ -42,8 +42,10 @@ AttentionResult MaskedSelfAttention::Forward(const Tensor& x,
 
   const int head_dim = dim_ / num_heads_;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  Tensor concat;
-  Tensor weight_sum;
+  std::vector<Tensor> head_outputs;
+  std::vector<Tensor> head_weights;
+  head_outputs.reserve(num_heads_);
+  head_weights.reserve(num_heads_);
   for (int h = 0; h < num_heads_; ++h) {
     const int begin = h * head_dim, end = begin + head_dim;
     Tensor qh = ops::SliceCols(q, begin, end);
@@ -51,13 +53,13 @@ AttentionResult MaskedSelfAttention::Forward(const Tensor& x,
     Tensor vh = ops::SliceCols(v, begin, end);
     Tensor scores = ops::Affine(ops::MatMulTransposeB(qh, kh), scale, 0.0f);
     Tensor weights = ops::MaskedSoftmax(scores, mask);
-    Tensor head_out = ops::MatMul(weights, vh);
-    concat = h == 0 ? head_out : ops::ConcatCols(concat, head_out);
-    weight_sum = h == 0 ? weights : ops::Add(weight_sum, weights);
+    head_outputs.push_back(ops::MatMul(weights, vh));
+    head_weights.push_back(weights);
   }
-  Tensor output = output_->Forward(concat);
-  Tensor mean_weights =
-      ops::Affine(weight_sum, 1.0f / static_cast<float>(num_heads_), 0.0f);
+  // Single n-ary concat/sum nodes instead of O(heads) chained pairwise ops.
+  Tensor output = output_->Forward(ops::ConcatColsN(head_outputs));
+  Tensor mean_weights = ops::Affine(
+      ops::AddN(head_weights), 1.0f / static_cast<float>(num_heads_), 0.0f);
   return {output, mean_weights};
 }
 

@@ -16,9 +16,8 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool use_bias)
 
 Tensor Linear::Forward(const Tensor& x) const {
   KVEC_CHECK_EQ(x.cols(), in_features_) << "Linear input width mismatch";
-  Tensor y = ops::MatMul(x, weight_);
-  if (bias_.defined()) y = ops::AddRow(y, bias_);
-  return y;
+  // Fused matmul+bias: one graph node and one output buffer instead of two.
+  return ops::LinearForward(x, weight_, bias_);
 }
 
 void Linear::CollectParameters(std::vector<Tensor>* out) {

@@ -32,9 +32,10 @@ LstmState LstmFusionCell::Step(const LstmState& previous,
   Tensor in = ops::Sigmoid(input_gate_.Forward(joined));
   Tensor out = ops::Sigmoid(output_gate_.Forward(joined));
   Tensor candidate = ops::Tanh(candidate_.Forward(joined));
-  Tensor cell =
-      ops::Add(ops::Mul(forget, previous.cell), ops::Mul(in, candidate));
-  Tensor hidden = ops::Mul(out, ops::Tanh(cell));
+  // Fused update ops: 2 graph nodes for the state math instead of 5, which
+  // matters on the serving path where Step runs once per stream item.
+  Tensor cell = ops::FusedMulAdd(forget, previous.cell, in, candidate);
+  Tensor hidden = ops::MulTanh(out, cell);
   return {hidden, cell};
 }
 

@@ -1,0 +1,80 @@
+// A thread-safe free list of float buffers behind tensor allocation.
+//
+// Every op output is a fresh TensorImpl with a std::vector<float> payload;
+// a training step makes hundreds of them and the serving loop makes several
+// per stream item. Instead of hitting the allocator each time, TensorImpl
+// returns its buffers here on destruction and Tensor::Zeros/Full (and
+// EnsureGrad) reacquire them. Buffers are keyed by capacity and handed out
+// smallest-sufficient-first, so steady-state training/serving recycles the
+// same arena of vectors with zero malloc traffic.
+//
+// The pool is bounded (kDefaultMaxCachedFloats); releases beyond the bound
+// free normally. Disable with SetEnabled(false) (or KVEC_NO_BUFFER_POOL=1 in
+// the environment) to fall back to plain allocation, e.g. under ASan when
+// hunting use-after-free through recycled storage.
+#ifndef KVEC_TENSOR_BUFFER_POOL_H_
+#define KVEC_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace kvec {
+
+class BufferPool {
+ public:
+  // ~256 MB of cached float storage.
+  static constexpr size_t kDefaultMaxCachedFloats = size_t{1} << 26;
+
+  struct Stats {
+    uint64_t hits = 0;      // acquires served from the free list
+    uint64_t misses = 0;    // acquires that had to allocate
+    uint64_t returned = 0;  // buffers accepted back
+    uint64_t dropped = 0;   // buffers rejected (pool full/disabled)
+    size_t cached_floats = 0;
+    size_t cached_buffers = 0;
+  };
+
+  // Process-wide pool used by Tensor. Never destroyed (tensors may die
+  // during static teardown).
+  static BufferPool& Global();
+
+  // A buffer with size() == n, every element set to `fill`.
+  std::vector<float> Acquire(size_t n, float fill);
+
+  // A buffer with size() == n and unspecified contents — for op outputs the
+  // caller overwrites entirely. A pool hit whose previous size covers n is
+  // O(1) (shrinking resize writes nothing); other paths fall back to a fill.
+  std::vector<float> AcquireUninitialized(size_t n);
+
+  // Hands storage back; takes any vector (moved-from, empty, oversized).
+  void Release(std::vector<float>&& buffer);
+
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  // Drops all cached buffers (keeps the enabled flag).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  BufferPool();
+
+  // Pops the smallest sufficient free buffer (empty vector on miss).
+  std::vector<float> Take(size_t n);
+
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  size_t max_cached_floats_ = kDefaultMaxCachedFloats;
+  size_t cached_floats_ = 0;
+  // capacity -> free buffers of exactly that capacity.
+  std::map<size_t, std::vector<std::vector<float>>> free_lists_;
+  Stats stats_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_TENSOR_BUFFER_POOL_H_

@@ -1,0 +1,299 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace kvec {
+namespace kernels {
+namespace {
+
+// ---- Portable SIMD shims ----------------------------------------------------
+//
+// One micro-kernel body is written against these; the register width and tile
+// shape adapt to the best ISA the compiler targets. kMR x (kNV * kVecWidth)
+// is the C tile held in registers across the whole k loop.
+
+#if defined(__AVX512F__)
+
+using VReg = __m512;
+constexpr int kVecWidth = 16;
+constexpr int kMR = 6;  // C-tile rows: 24 accumulators + 4 B regs < 32 zmm
+constexpr int kNV = 4;  // C-tile width in vectors (64 floats)
+inline VReg VLoad(const float* p) { return _mm512_loadu_ps(p); }
+inline void VStore(float* p, VReg v) { _mm512_storeu_ps(p, v); }
+inline VReg VBroadcast(float x) { return _mm512_set1_ps(x); }
+inline VReg VZero() { return _mm512_setzero_ps(); }
+inline VReg VFma(VReg a, VReg b, VReg acc) { return _mm512_fmadd_ps(a, b, acc); }
+inline VReg VAdd(VReg a, VReg b) { return _mm512_add_ps(a, b); }
+inline VReg VMul(VReg a, VReg b) { return _mm512_mul_ps(a, b); }
+inline float VSum(VReg v) { return _mm512_reduce_add_ps(v); }
+#define KVEC_HAVE_SIMD 1
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+using VReg = __m256;
+constexpr int kVecWidth = 8;
+constexpr int kMR = 4;
+constexpr int kNV = 2;  // 16 floats; 8 accumulators + loads fit 16 ymm regs
+inline VReg VLoad(const float* p) { return _mm256_loadu_ps(p); }
+inline void VStore(float* p, VReg v) { _mm256_storeu_ps(p, v); }
+inline VReg VBroadcast(float x) { return _mm256_set1_ps(x); }
+inline VReg VZero() { return _mm256_setzero_ps(); }
+inline VReg VFma(VReg a, VReg b, VReg acc) { return _mm256_fmadd_ps(a, b, acc); }
+inline VReg VAdd(VReg a, VReg b) { return _mm256_add_ps(a, b); }
+inline VReg VMul(VReg a, VReg b) { return _mm256_mul_ps(a, b); }
+inline float VSum(VReg v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+#define KVEC_HAVE_SIMD 1
+
+#else
+#define KVEC_HAVE_SIMD 0
+#endif
+
+#if KVEC_HAVE_SIMD
+
+// ---- Broadcast micro-kernel (GemmNN / GemmTN / VecMat) ----------------------
+//
+// C tile [MR x NV*W] (+)= A-slab · B-panel. A is accessed through explicit
+// row/column strides so the same body serves A (a_rs=k, a_cs=1) and A^T
+// (a_rs=1, a_cs=m): the broadcast of one scalar per (row, p) hides the
+// transposed layout entirely.
+template <int MR, int NV>
+inline void MicroBroadcast(const float* __restrict a, long a_rs, long a_cs,
+                           const float* __restrict b, long ldb,
+                           float* __restrict c, long ldc, int k,
+                           bool accumulate) {
+  VReg acc[MR][NV];
+  for (int r = 0; r < MR; ++r) {
+    for (int v = 0; v < NV; ++v) {
+      acc[r][v] = accumulate ? VLoad(c + r * ldc + v * kVecWidth) : VZero();
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    VReg bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = VLoad(b + p * ldb + v * kVecWidth);
+    for (int r = 0; r < MR; ++r) {
+      const VReg av = VBroadcast(a[r * a_rs + p * a_cs]);
+      for (int v = 0; v < NV; ++v) acc[r][v] = VFma(av, bv[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int v = 0; v < NV; ++v) {
+      VStore(c + r * ldc + v * kVecWidth, acc[r][v]);
+    }
+  }
+}
+
+// ---- Dot micro-kernel (GemmNT) ----------------------------------------------
+//
+// C tile [MR x NB] where every entry is a length-k dot product of an A row
+// with a B row. Vector accumulators reduce horizontally once per tile.
+template <int MR, int NB>
+inline void MicroDot(const float* __restrict a, long lda,
+                     const float* __restrict b, long ldb,
+                     float* __restrict c, long ldc, int k, bool accumulate) {
+  VReg acc[MR][NB];
+  for (int r = 0; r < MR; ++r) {
+    for (int s = 0; s < NB; ++s) acc[r][s] = VZero();
+  }
+  const int kv = k - k % kVecWidth;
+  for (int p = 0; p < kv; p += kVecWidth) {
+    VReg av[MR], bv[NB];
+    for (int r = 0; r < MR; ++r) av[r] = VLoad(a + r * lda + p);
+    for (int s = 0; s < NB; ++s) bv[s] = VLoad(b + s * ldb + p);
+    for (int r = 0; r < MR; ++r) {
+      for (int s = 0; s < NB; ++s) acc[r][s] = VFma(av[r], bv[s], acc[r][s]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int s = 0; s < NB; ++s) {
+      float total = VSum(acc[r][s]);
+      for (int p = kv; p < k; ++p) total += a[r * lda + p] * b[s * ldb + p];
+      float* out = c + r * ldc + s;
+      *out = accumulate ? *out + total : total;
+    }
+  }
+}
+
+#endif  // KVEC_HAVE_SIMD
+
+// ---- Scalar fallbacks -------------------------------------------------------
+
+// The seed's i-p-j ordering: unit-stride over B and C rows, auto-vectorisable.
+// Also used for sub-vector-width column remainders of the SIMD path.
+void ScalarBroadcastRange(const float* __restrict a, long a_rs, long a_cs,
+                          const float* __restrict b, float* __restrict c,
+                          int i0, int i1, int j0, int n, int k,
+                          bool accumulate) {
+  for (int i = i0; i < i1; ++i) {
+    float* __restrict c_row = c + static_cast<long>(i) * n;
+    if (!accumulate) {
+      for (int j = j0; j < n; ++j) c_row[j] = 0.0f;
+    }
+    for (int p = 0; p < k; ++p) {
+      const float aip = a[i * a_rs + p * a_cs];
+      if (aip == 0.0f) continue;
+      const float* __restrict b_row = b + static_cast<long>(p) * n;
+      for (int j = j0; j < n; ++j) c_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+float ScalarDot(const float* __restrict a, const float* __restrict b, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+// ---- Drivers ----------------------------------------------------------------
+
+// Row-panel driver shared by GemmNN (a_rs=k, a_cs=1) and GemmTN (a_rs=1,
+// a_cs=m). Processes C rows [i0, i1).
+void BroadcastRows(const float* a, long a_rs, long a_cs, const float* b,
+                   float* c, int i0, int i1, int k, int n, bool accumulate) {
+#if KVEC_HAVE_SIMD
+  // Row loop with a tile-size ladder: full kMR tiles, then 2-row, then
+  // single-row tiles for the remainder.
+  const auto row_ladder = [=](int j, auto&& tile) {
+    int i = i0;
+    for (; i + kMR <= i1; i += kMR) {
+      tile(std::integral_constant<int, kMR>(), i, j);
+    }
+    for (; i + 2 <= i1; i += 2) tile(std::integral_constant<int, 2>(), i, j);
+    for (; i < i1; ++i) tile(std::integral_constant<int, 1>(), i, j);
+  };
+  constexpr int kPanel = kNV * kVecWidth;
+  int j = 0;
+  for (; j + kPanel <= n; j += kPanel) {
+    row_ladder(j, [=](auto mr, int i, int jj) {
+      MicroBroadcast<decltype(mr)::value, kNV>(
+          a + i * a_rs, a_rs, a_cs, b + jj, n,
+          c + static_cast<long>(i) * n + jj, n, k, accumulate);
+    });
+  }
+  for (; j + kVecWidth <= n; j += kVecWidth) {
+    row_ladder(j, [=](auto mr, int i, int jj) {
+      MicroBroadcast<decltype(mr)::value, 1>(
+          a + i * a_rs, a_rs, a_cs, b + jj, n,
+          c + static_cast<long>(i) * n + jj, n, k, accumulate);
+    });
+  }
+  if (j < n) ScalarBroadcastRange(a, a_rs, a_cs, b, c, i0, i1, j, n, k,
+                                  accumulate);
+#else
+  ScalarBroadcastRange(a, a_rs, a_cs, b, c, i0, i1, 0, n, k, accumulate);
+#endif
+}
+
+void DotRows(const float* a, const float* b, float* c, int i0, int i1, int k,
+             int n, bool accumulate) {
+#if KVEC_HAVE_SIMD
+  constexpr int kNB = 2;  // B rows per tile
+  int i = i0;
+  for (; i + kMR <= i1; i += kMR) {
+    int j = 0;
+    for (; j + kNB <= n; j += kNB) {
+      MicroDot<kMR, kNB>(a + static_cast<long>(i) * k, k,
+                         b + static_cast<long>(j) * k, k,
+                         c + static_cast<long>(i) * n + j, n, k, accumulate);
+    }
+    for (; j < n; ++j) {
+      MicroDot<kMR, 1>(a + static_cast<long>(i) * k, k,
+                       b + static_cast<long>(j) * k, k,
+                       c + static_cast<long>(i) * n + j, n, k, accumulate);
+    }
+  }
+  for (; i < i1; ++i) {
+    int j = 0;
+    for (; j + kNB <= n; j += kNB) {
+      MicroDot<1, kNB>(a + static_cast<long>(i) * k, k,
+                       b + static_cast<long>(j) * k, k,
+                       c + static_cast<long>(i) * n + j, n, k, accumulate);
+    }
+    for (; j < n; ++j) {
+      MicroDot<1, 1>(a + static_cast<long>(i) * k, k,
+                     b + static_cast<long>(j) * k, k,
+                     c + static_cast<long>(i) * n + j, n, k, accumulate);
+    }
+  }
+#else
+  for (int i = i0; i < i1; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float total = ScalarDot(a + static_cast<long>(i) * k,
+                                    b + static_cast<long>(j) * k, k);
+      float* out = c + static_cast<long>(i) * n + j;
+      *out = accumulate ? *out + total : total;
+    }
+  }
+#endif
+}
+
+// Splits C rows over the pool when the multiply is big enough. The 8-row
+// grain keeps chunk boundaries aligned to full SIMD row-tile ladders while
+// staying fine-grained enough to balance uneven panels.
+template <typename RowFn>
+void ParallelOverRows(int m, long long flops, const RowFn& fn) {
+  ParallelForThreshold(flops, kParallelFlopThreshold, m, /*grain=*/8, fn);
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate) {
+  ParallelOverRows(m, static_cast<long long>(m) * k * n,
+                   [=](int i0, int i1) {
+                     BroadcastRows(a, /*a_rs=*/k, /*a_cs=*/1, b, c, i0, i1, k,
+                                   n, accumulate);
+                   });
+}
+
+void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate) {
+  ParallelOverRows(m, static_cast<long long>(m) * k * n,
+                   [=](int i0, int i1) {
+                     BroadcastRows(a, /*a_rs=*/1, /*a_cs=*/m, b, c, i0, i1, k,
+                                   n, accumulate);
+                   });
+}
+
+void GemmNT(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate) {
+  ParallelOverRows(m, static_cast<long long>(m) * k * n,
+                   [=](int i0, int i1) {
+                     DotRows(a, b, c, i0, i1, k, n, accumulate);
+                   });
+}
+
+void VecMat(const float* x, const float* b, float* y, int k, int n,
+            bool accumulate) {
+  BroadcastRows(x, /*a_rs=*/k, /*a_cs=*/1, b, y, 0, 1, k, n, accumulate);
+}
+
+float Dot(const float* a, const float* b, int n) {
+#if KVEC_HAVE_SIMD
+  VReg acc = VZero();
+  const int nv = n - n % kVecWidth;
+  for (int i = 0; i < nv; i += kVecWidth) {
+    acc = VFma(VLoad(a + i), VLoad(b + i), acc);
+  }
+  float total = VSum(acc);
+  for (int i = nv; i < n; ++i) total += a[i] * b[i];
+  return total;
+#else
+  return ScalarDot(a, b, n);
+#endif
+}
+
+}  // namespace kernels
+}  // namespace kvec

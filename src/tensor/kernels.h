@@ -1,0 +1,49 @@
+// Dense float32 GEMM kernels shared by the autograd operators.
+//
+// The three layouts cover every matmul in the library, forward and backward
+// (MatMul, MatMulTransposeB, Linear, and their gradients):
+//
+//   GemmNN: C[m,n] (+)= A[m,k] · B[k,n]
+//   GemmNT: C[m,n] (+)= A[m,k] · B[n,k]^T   (rows of B are the k-vectors)
+//   GemmTN: C[m,n] (+)= A[k,m]^T · B[k,n]
+//
+// All matrices are dense row-major with no padding. `accumulate` selects
+// C += (gradient accumulation) vs C = (forward outputs). Kernels are
+// register-tiled, cache-blocked, `__restrict`-annotated, and FMA-friendly;
+// on x86 they use AVX-512/FMA or AVX2/FMA intrinsics when the compiler
+// targets them (-march=native), with a blocked scalar fallback otherwise.
+// Work is split over ThreadPool::Global() row panels once the multiply is
+// large enough to amortise the fork (see kParallelFlopThreshold).
+//
+// Aliasing contract: C must not overlap A or B. A and B may alias each
+// other (e.g. Q·Qᵀ).
+#ifndef KVEC_TENSOR_KERNELS_H_
+#define KVEC_TENSOR_KERNELS_H_
+
+namespace kvec {
+namespace kernels {
+
+// Multiplies below this many multiply-accumulates run on the calling thread;
+// forking the pool costs ~a few microseconds, so small serving-path matmuls
+// ([1,d] x [d,d]) stay inline.
+inline constexpr long long kParallelFlopThreshold = 1LL << 18;
+
+void GemmNN(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate);
+void GemmNT(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate);
+void GemmTN(const float* a, const float* b, float* c, int m, int k, int n,
+            bool accumulate);
+
+// y[n] (+)= x[k] · B[k,n]; the single-row GemmNN, exposed separately so the
+// incremental encoder's per-item rows skip Tensor plumbing entirely.
+void VecMat(const float* x, const float* b, float* y, int k, int n,
+            bool accumulate);
+
+// dot(a, b) over n floats.
+float Dot(const float* a, const float* b, int n);
+
+}  // namespace kernels
+}  // namespace kvec
+
+#endif  // KVEC_TENSOR_KERNELS_H_

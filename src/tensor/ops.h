@@ -27,6 +27,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 // a * b^T: [m,k] x [n,k] -> [m,n]. Used for Q K^T without materialising K^T.
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 
+// x W + bias in one graph node (one kernel pass, one output buffer). `bias`
+// may be undefined for bias-free layers. This is Linear::Forward's backend.
+Tensor LinearForward(const Tensor& x, const Tensor& weight,
+                     const Tensor& bias);
+
 Tensor Transpose(const Tensor& a);
 
 // ---- Elementwise / shape ----
@@ -45,8 +50,20 @@ Tensor Affine(const Tensor& a, float scale, float shift);
 // of Add nodes (used to accumulate per-step policy losses).
 Tensor AddN(const std::vector<Tensor>& tensors);
 
+// a.*b + c.*d in one node; the LSTM cell-state update without three
+// intermediate tensors.
+Tensor FusedMulAdd(const Tensor& a, const Tensor& b, const Tensor& c,
+                   const Tensor& d);
+
+// a .* tanh(b) in one node; the LSTM hidden-state update.
+Tensor MulTanh(const Tensor& a, const Tensor& b);
+
 // [m,na] ++ [m,nb] -> [m,na+nb]
 Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+// n-ary column concatenation in a single node; multi-head attention glues
+// its head outputs with this instead of a chain of pairwise concats.
+Tensor ConcatColsN(const std::vector<Tensor>& parts);
 
 // Stacks n [1,d] rows into [n,d].
 Tensor StackRows(const std::vector<Tensor>& rows);

@@ -1,14 +1,33 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/buffer_pool.h"
 #include "util/check.h"
 
 namespace kvec {
+namespace {
+
+thread_local int t_inference_depth = 0;
+std::atomic<uint64_t> g_graph_nodes_recorded{0};
+
+}  // namespace
+
+InferenceMode::InferenceMode() { ++t_inference_depth; }
+InferenceMode::~InferenceMode() { --t_inference_depth; }
+bool InferenceMode::Enabled() { return t_inference_depth > 0; }
+
+TensorImpl::~TensorImpl() {
+  BufferPool::Global().Release(std::move(data));
+  BufferPool::Global().Release(std::move(grad));
+}
 
 void TensorImpl::EnsureGrad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  if (grad.size() != data.size()) {
+    grad = BufferPool::Global().Acquire(data.size(), 0.0f);
+  }
 }
 
 Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
@@ -21,7 +40,8 @@ Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, value);
+  impl->data =
+      BufferPool::Global().Acquire(static_cast<size_t>(rows) * cols, value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -110,7 +130,11 @@ Tensor Tensor::Detach() const {
 
 void Tensor::ZeroGrad() {
   KVEC_CHECK(defined());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  if (impl_->grad.size() == impl_->data.size()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  } else {
+    impl_->grad = BufferPool::Global().Acquire(impl_->data.size(), 0.0f);
+  }
 }
 
 void Tensor::Backward() {
@@ -173,12 +197,28 @@ namespace internal {
 Tensor MakeOpOutput(int rows, int cols,
                     std::vector<std::shared_ptr<TensorImpl>> parents,
                     bool requires_grad) {
-  Tensor out = Tensor::Zeros(rows, cols, requires_grad);
+  KVEC_CHECK_GT(rows, 0);
+  KVEC_CHECK_GT(cols, 0);
+  requires_grad = requires_grad && !InferenceMode::Enabled();
+  // Op outputs are written in full by the caller, so the buffer contents can
+  // stay uninitialised (ops that accumulate zero it themselves).
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = BufferPool::Global().AcquireUninitialized(
+      static_cast<size_t>(rows) * cols);
+  impl->requires_grad = requires_grad;
+  Tensor out(std::move(impl));
   if (requires_grad) {
     out.impl()->parents = std::move(parents);
     out.impl()->EnsureGrad();
+    g_graph_nodes_recorded.fetch_add(1, std::memory_order_relaxed);
   }
   return out;
+}
+
+uint64_t GraphNodesRecorded() {
+  return g_graph_nodes_recorded.load(std::memory_order_relaxed);
 }
 
 }  // namespace internal

@@ -21,6 +21,7 @@
 #ifndef KVEC_TENSOR_TENSOR_H_
 #define KVEC_TENSOR_TENSOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +30,13 @@
 namespace kvec {
 
 struct TensorImpl {
+  TensorImpl() = default;
+  // Returns `data`/`grad` storage to the BufferPool free list.
+  ~TensorImpl();
+
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int rows = 0;
   int cols = 0;
   std::vector<float> data;
@@ -39,6 +47,25 @@ struct TensorImpl {
   std::function<void()> backward_fn;
 
   void EnsureGrad();
+};
+
+// RAII guard that disables autograd tape construction on this thread: while
+// at least one InferenceMode is alive, every op produces a plain leaf tensor
+// (requires_grad == false, no parents, no backward_fn) regardless of its
+// inputs. The serving path (OnlineClassifier / StreamServer) runs under this
+// guard so a stream of items builds zero graph nodes — no retroactive
+// Detach() needed. Guards nest; the tape resumes when the outermost one
+// dies.
+class InferenceMode {
+ public:
+  InferenceMode();
+  ~InferenceMode();
+
+  InferenceMode(const InferenceMode&) = delete;
+  InferenceMode& operator=(const InferenceMode&) = delete;
+
+  // True when the current thread is inside at least one InferenceMode.
+  static bool Enabled();
 };
 
 class Tensor {
@@ -95,10 +122,16 @@ class Tensor {
 namespace internal {
 
 // Creates an op output node. `parents` are recorded only when gradients are
-// required so inference builds no graph.
+// required so inference builds no graph. The request is ignored (plain leaf
+// returned) under InferenceMode.
 Tensor MakeOpOutput(int rows, int cols,
                     std::vector<std::shared_ptr<TensorImpl>> parents,
                     bool requires_grad);
+
+// Process-wide count of graph nodes recorded so far (op outputs that kept
+// parents + a backward hook). Monotonic; take a delta around a code region
+// to assert it built zero tape (see inference_mode_test.cc).
+uint64_t GraphNodesRecorded();
 
 }  // namespace internal
 }  // namespace kvec

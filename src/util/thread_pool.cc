@@ -1,0 +1,166 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+
+#include "util/check.h"
+
+namespace kvec {
+namespace {
+
+// True while the current thread is executing chunks of some region; nested
+// ParallelFor calls then run inline instead of deadlocking on the pool.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+// Shared completion state of one ParallelFor invocation. Every queued chunk
+// holds a shared_ptr to it, so a worker finishing the last chunk can still
+// safely signal `done` after the caller's stack frame became invalid.
+struct ThreadPool::Region {
+  const std::function<void(int, int)>* fn = nullptr;  // outlives the region
+  std::atomic<int> remaining{0};
+  std::mutex mutex;
+  std::condition_variable done;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunk(const Chunk& chunk) {
+  t_inside_parallel_region = true;
+  (*chunk.region->fn)(chunk.begin, chunk.end);
+  t_inside_parallel_region = false;
+  if (chunk.region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(chunk.region->mutex);
+    chunk.region->done.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Chunk chunk;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      chunk = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunChunk(chunk);
+  }
+}
+
+void ThreadPool::ParallelFor(int begin, int end, int grain,
+                             const std::function<void(int, int)>& fn) {
+  if (end <= begin) return;
+  grain = std::max(1, grain);
+  const int n = end - begin;
+  const int num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1 || num_threads_ == 1 || t_inside_parallel_region) {
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    fn(begin, end);
+    t_inside_parallel_region = was_inside;
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->remaining.store(num_chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int c = 0; c < num_chunks; ++c) {
+      const int chunk_begin = begin + c * grain;
+      queue_.push_back({region, chunk_begin, std::min(chunk_begin + grain, end)});
+    }
+  }
+  wake_.notify_all();
+
+  // The caller works too — but only on its own region's chunks, so a small
+  // latency-critical ParallelFor never inherits the tail of a large
+  // concurrent one queued ahead of it (workers still drain FIFO).
+  for (;;) {
+    Chunk chunk;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = std::find_if(
+          queue_.begin(), queue_.end(),
+          [&region](const Chunk& c) { return c.region == region; });
+      if (it == queue_.end()) break;
+      chunk = std::move(*it);
+      queue_.erase(it);
+    }
+    RunChunk(chunk);
+  }
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->done.wait(lock, [&region]() {
+    return region->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+namespace {
+
+std::shared_ptr<ThreadPool>& GlobalPoolSlot() {
+  // Leaked on purpose: tensor kernels may run during static teardown; the
+  // pool object must outlive every user. A replaced pool is destroyed
+  // (workers joined) when its last in-flight user drops the shared_ptr.
+  static auto* slot = new std::shared_ptr<ThreadPool>();
+  return *slot;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static auto* mutex = new std::mutex();
+  return *mutex;
+}
+
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("KVEC_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::GlobalShared() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (slot == nullptr) {
+    slot = std::make_shared<ThreadPool>(DefaultThreadCount());
+  }
+  return slot;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  KVEC_CHECK_GE(num_threads, 1);
+  std::shared_ptr<ThreadPool> replaced;
+  {
+    std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+    replaced = std::move(GlobalPoolSlot());
+    GlobalPoolSlot() = std::make_shared<ThreadPool>(num_threads);
+  }
+  // `replaced` (if any) is destroyed here, outside the registry lock, once
+  // in-flight users have dropped their references.
+}
+
+}  // namespace kvec

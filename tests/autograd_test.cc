@@ -142,6 +142,84 @@ TEST(GradCheckTest, MatMulTransposeB) {
       {a, b}, [&]() { return ops::SumAll(ops::MatMulTransposeB(a, b)); });
 }
 
+// Regression guard for kernel rewrites: MatMulTransposeB must stay
+// numerically equivalent to MatMul(a, Transpose(b)) — forward values AND
+// gradients — even though the two run entirely different GEMM code paths.
+TEST(GradCheckTest, MatMulTransposeBMatchesMatMulOfTranspose) {
+  Rng rng(99);
+  // Odd sizes on purpose: exercise the SIMD kernels' remainder ladders.
+  const int m = 5, k = 19, n = 7;
+  Tensor a1 = RandomTensor(m, k, rng);
+  Tensor b1 = RandomTensor(n, k, rng);
+  Tensor a2 = Tensor::FromData(m, k, a1.data(), /*requires_grad=*/true);
+  Tensor b2 = Tensor::FromData(n, k, b1.data(), /*requires_grad=*/true);
+  Tensor picker = RandomTensor(m, n, rng).Detach();
+
+  Tensor direct = ops::MatMulTransposeB(a1, b1);
+  Tensor via_transpose = ops::MatMul(a2, ops::Transpose(b2));
+  ASSERT_EQ(direct.rows(), via_transpose.rows());
+  ASSERT_EQ(direct.cols(), via_transpose.cols());
+  for (int i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], via_transpose.data()[i], 1e-5f)
+        << "forward element " << i;
+  }
+
+  ops::SumAll(ops::Mul(direct, picker)).Backward();
+  ops::SumAll(ops::Mul(via_transpose, picker)).Backward();
+  for (size_t i = 0; i < a1.grad().size(); ++i) {
+    EXPECT_NEAR(a1.grad()[i], a2.grad()[i], 1e-4f) << "dA element " << i;
+  }
+  for (size_t i = 0; i < b1.grad().size(); ++i) {
+    EXPECT_NEAR(b1.grad()[i], b2.grad()[i], 1e-4f) << "dB element " << i;
+  }
+}
+
+TEST(GradCheckTest, LinearForwardFused) {
+  Rng rng(98);
+  Tensor x = RandomTensor(3, 5, rng);
+  Tensor w = RandomTensor(5, 4, rng);
+  Tensor bias = RandomTensor(1, 4, rng);
+  ExpectGradientsMatch({x, w, bias}, [&]() {
+    return ops::SumAll(ops::Tanh(ops::LinearForward(x, w, bias)));
+  });
+  // Bias-free variant.
+  ExpectGradientsMatch({x, w}, [&]() {
+    return ops::SumAll(ops::Tanh(ops::LinearForward(x, w, Tensor())));
+  });
+}
+
+TEST(GradCheckTest, FusedMulAddAndMulTanh) {
+  Rng rng(97);
+  Tensor a = RandomTensor(2, 3, rng);
+  Tensor b = RandomTensor(2, 3, rng);
+  Tensor c = RandomTensor(2, 3, rng);
+  Tensor d = RandomTensor(2, 3, rng);
+  ExpectGradientsMatch({a, b, c, d}, [&]() {
+    return ops::SumAll(ops::MulTanh(a, ops::FusedMulAdd(a, b, c, d)));
+  });
+}
+
+TEST(GradCheckTest, ConcatColsNMatchesPairwise) {
+  Rng rng(96);
+  Tensor a = RandomTensor(3, 2, rng);
+  Tensor b = RandomTensor(3, 3, rng);
+  Tensor c = RandomTensor(3, 1, rng);
+  ExpectGradientsMatch({a, b, c}, [&]() {
+    return ops::SumAll(ops::Tanh(ops::ConcatColsN({a, b, c})));
+  });
+}
+
+// Larger-shape gradcheck routed through the SIMD panel kernels (the other
+// gradchecks are small enough to stay on remainder paths).
+TEST(GradCheckTest, MatMulWideEnoughForSimdPanels) {
+  Rng rng(95);
+  Tensor a = RandomTensor(7, 33, rng, 0.3f);
+  Tensor b = RandomTensor(33, 65, rng, 0.3f);
+  ExpectGradientsMatch(
+      {a, b}, [&]() { return ops::MeanAll(ops::MatMul(a, b)); },
+      /*eps=*/5e-2f, /*tol=*/6e-2f);
+}
+
 TEST(GradCheckTest, AddSubMul) {
   Rng rng(12);
   Tensor a = RandomTensor(2, 3, rng);
