@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_classic_test.dir/tests/baselines_classic_test.cc.o"
+  "CMakeFiles/baselines_classic_test.dir/tests/baselines_classic_test.cc.o.d"
+  "baselines_classic_test"
+  "baselines_classic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

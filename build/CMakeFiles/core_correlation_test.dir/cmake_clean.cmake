@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_correlation_test.dir/tests/core_correlation_test.cc.o"
+  "CMakeFiles/core_correlation_test.dir/tests/core_correlation_test.cc.o.d"
+  "core_correlation_test"
+  "core_correlation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_encoder_test.dir/tests/core_encoder_test.cc.o"
+  "CMakeFiles/core_encoder_test.dir/tests/core_encoder_test.cc.o.d"
+  "core_encoder_test"
+  "core_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_heads_test.dir/tests/core_heads_test.cc.o"
+  "CMakeFiles/core_heads_test.dir/tests/core_heads_test.cc.o.d"
+  "core_heads_test"
+  "core_heads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_heads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_input_embedding_test.dir/tests/core_input_embedding_test.cc.o"
+  "CMakeFiles/core_input_embedding_test.dir/tests/core_input_embedding_test.cc.o.d"
+  "core_input_embedding_test"
+  "core_input_embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_input_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

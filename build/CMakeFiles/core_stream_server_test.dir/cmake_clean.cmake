@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stream_server_test.dir/tests/core_stream_server_test.cc.o"
+  "CMakeFiles/core_stream_server_test.dir/tests/core_stream_server_test.cc.o.d"
+  "core_stream_server_test"
+  "core_stream_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stream_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

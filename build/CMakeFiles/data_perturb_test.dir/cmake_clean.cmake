@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_perturb_test.dir/tests/data_perturb_test.cc.o"
+  "CMakeFiles/data_perturb_test.dir/tests/data_perturb_test.cc.o.d"
+  "data_perturb_test"
+  "data_perturb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_perturb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

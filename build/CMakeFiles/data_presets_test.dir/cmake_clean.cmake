@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_presets_test.dir/tests/data_presets_test.cc.o"
+  "CMakeFiles/data_presets_test.dir/tests/data_presets_test.cc.o.d"
+  "data_presets_test"
+  "data_presets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_session_test.dir/tests/data_session_test.cc.o"
+  "CMakeFiles/data_session_test.dir/tests/data_session_test.cc.o.d"
+  "data_session_test"
+  "data_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

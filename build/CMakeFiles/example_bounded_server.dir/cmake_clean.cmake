@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bounded_server.dir/examples/bounded_server.cpp.o"
+  "CMakeFiles/example_bounded_server.dir/examples/bounded_server.cpp.o.d"
+  "example_bounded_server"
+  "example_bounded_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bounded_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

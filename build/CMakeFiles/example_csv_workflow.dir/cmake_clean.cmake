@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_csv_workflow.dir/examples/csv_workflow.cpp.o"
+  "CMakeFiles/example_csv_workflow.dir/examples/csv_workflow.cpp.o.d"
+  "example_csv_workflow"
+  "example_csv_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_csv_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_router.dir/examples/streaming_router.cpp.o"
+  "CMakeFiles/example_streaming_router.dir/examples/streaming_router.cpp.o.d"
+  "example_streaming_router"
+  "example_streaming_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

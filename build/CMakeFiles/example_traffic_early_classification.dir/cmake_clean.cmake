@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_early_classification.dir/examples/traffic_early_classification.cpp.o"
+  "CMakeFiles/example_traffic_early_classification.dir/examples/traffic_early_classification.cpp.o.d"
+  "example_traffic_early_classification"
+  "example_traffic_early_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_early_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_user_profiling.dir/examples/user_profiling.cpp.o"
+  "CMakeFiles/example_user_profiling.dir/examples/user_profiling.cpp.o.d"
+  "example_user_profiling"
+  "example_user_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_user_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

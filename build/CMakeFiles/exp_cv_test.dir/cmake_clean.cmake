@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cv_test.dir/tests/exp_cv_test.cc.o"
+  "CMakeFiles/exp_cv_test.dir/tests/exp_cv_test.cc.o.d"
+  "exp_cv_test"
+  "exp_cv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sweep_test.dir/tests/exp_sweep_test.cc.o"
+  "CMakeFiles/exp_sweep_test.dir/tests/exp_sweep_test.cc.o.d"
+  "exp_sweep_test"
+  "exp_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crossval.dir/bench/ext_crossval.cc.o"
+  "CMakeFiles/ext_crossval.dir/bench/ext_crossval.cc.o.d"
+  "ext_crossval"
+  "ext_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fusion.dir/bench/ext_fusion.cc.o"
+  "CMakeFiles/ext_fusion.dir/bench/ext_fusion.cc.o.d"
+  "ext_fusion"
+  "ext_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_method_comparison.dir/bench/ext_method_comparison.cc.o"
+  "CMakeFiles/ext_method_comparison.dir/bench/ext_method_comparison.cc.o.d"
+  "ext_method_comparison"
+  "ext_method_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_method_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multihead.dir/bench/ext_multihead.cc.o"
+  "CMakeFiles/ext_multihead.dir/bench/ext_multihead.cc.o.d"
+  "ext_multihead"
+  "ext_multihead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multihead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_robustness.dir/bench/ext_robustness.cc.o"
+  "CMakeFiles/ext_robustness.dir/bench/ext_robustness.cc.o.d"
+  "ext_robustness"
+  "ext_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

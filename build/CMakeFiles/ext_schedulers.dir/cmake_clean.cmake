@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_schedulers.dir/bench/ext_schedulers.cc.o"
+  "CMakeFiles/ext_schedulers.dir/bench/ext_schedulers.cc.o.d"
+  "ext_schedulers"
+  "ext_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

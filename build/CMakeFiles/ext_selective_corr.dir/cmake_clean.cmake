@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selective_corr.dir/bench/ext_selective_corr.cc.o"
+  "CMakeFiles/ext_selective_corr.dir/bench/ext_selective_corr.cc.o.d"
+  "ext_selective_corr"
+  "ext_selective_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selective_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_attention.dir/bench/fig10_attention.cc.o"
+  "CMakeFiles/fig10_attention.dir/bench/fig10_attention.cc.o.d"
+  "fig10_attention"
+  "fig10_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

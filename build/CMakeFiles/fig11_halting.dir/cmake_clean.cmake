@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_halting.dir/bench/fig11_halting.cc.o"
+  "CMakeFiles/fig11_halting.dir/bench/fig11_halting.cc.o.d"
+  "fig11_halting"
+  "fig11_halting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_halting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_concurrency.dir/bench/fig12_concurrency.cc.o"
+  "CMakeFiles/fig12_concurrency.dir/bench/fig12_concurrency.cc.o.d"
+  "fig12_concurrency"
+  "fig12_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_precision.dir/bench/fig4_precision.cc.o"
+  "CMakeFiles/fig4_precision.dir/bench/fig4_precision.cc.o.d"
+  "fig4_precision"
+  "fig4_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

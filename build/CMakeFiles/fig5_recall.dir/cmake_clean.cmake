@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_recall.dir/bench/fig5_recall.cc.o"
+  "CMakeFiles/fig5_recall.dir/bench/fig5_recall.cc.o.d"
+  "fig5_recall"
+  "fig5_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

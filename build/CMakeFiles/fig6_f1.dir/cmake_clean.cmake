@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_f1.dir/bench/fig6_f1.cc.o"
+  "CMakeFiles/fig6_f1.dir/bench/fig6_f1.cc.o.d"
+  "fig6_f1"
+  "fig6_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

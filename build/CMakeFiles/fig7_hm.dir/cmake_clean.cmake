@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hm.dir/bench/fig7_hm.cc.o"
+  "CMakeFiles/fig7_hm.dir/bench/fig7_hm.cc.o.d"
+  "fig7_hm"
+  "fig7_hm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_improvements.dir/bench/headline_improvements.cc.o"
+  "CMakeFiles/headline_improvements.dir/bench/headline_improvements.cc.o.d"
+  "headline_improvements"
+  "headline_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

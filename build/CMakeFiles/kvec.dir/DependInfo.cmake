@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_model.cc" "CMakeFiles/kvec.dir/src/baselines/baseline_model.cc.o" "gcc" "CMakeFiles/kvec.dir/src/baselines/baseline_model.cc.o.d"
+  "/root/repo/src/baselines/baseline_trainer.cc" "CMakeFiles/kvec.dir/src/baselines/baseline_trainer.cc.o" "gcc" "CMakeFiles/kvec.dir/src/baselines/baseline_trainer.cc.o.d"
+  "/root/repo/src/baselines/indicator_matcher.cc" "CMakeFiles/kvec.dir/src/baselines/indicator_matcher.cc.o" "gcc" "CMakeFiles/kvec.dir/src/baselines/indicator_matcher.cc.o.d"
+  "/root/repo/src/baselines/prefix_ects.cc" "CMakeFiles/kvec.dir/src/baselines/prefix_ects.cc.o" "gcc" "CMakeFiles/kvec.dir/src/baselines/prefix_ects.cc.o.d"
+  "/root/repo/src/core/config.cc" "CMakeFiles/kvec.dir/src/core/config.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/config.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "CMakeFiles/kvec.dir/src/core/correlation.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/correlation.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "CMakeFiles/kvec.dir/src/core/encoder.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/encoder.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "CMakeFiles/kvec.dir/src/core/fusion.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/fusion.cc.o.d"
+  "/root/repo/src/core/heads.cc" "CMakeFiles/kvec.dir/src/core/heads.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/heads.cc.o.d"
+  "/root/repo/src/core/input_embedding.cc" "CMakeFiles/kvec.dir/src/core/input_embedding.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/input_embedding.cc.o.d"
+  "/root/repo/src/core/model.cc" "CMakeFiles/kvec.dir/src/core/model.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/model.cc.o.d"
+  "/root/repo/src/core/online.cc" "CMakeFiles/kvec.dir/src/core/online.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/online.cc.o.d"
+  "/root/repo/src/core/stream_server.cc" "CMakeFiles/kvec.dir/src/core/stream_server.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/stream_server.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "CMakeFiles/kvec.dir/src/core/trainer.cc.o" "gcc" "CMakeFiles/kvec.dir/src/core/trainer.cc.o.d"
+  "/root/repo/src/data/generator.cc" "CMakeFiles/kvec.dir/src/data/generator.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "CMakeFiles/kvec.dir/src/data/io.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/io.cc.o.d"
+  "/root/repo/src/data/movielens_generator.cc" "CMakeFiles/kvec.dir/src/data/movielens_generator.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/movielens_generator.cc.o.d"
+  "/root/repo/src/data/perturb.cc" "CMakeFiles/kvec.dir/src/data/perturb.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/perturb.cc.o.d"
+  "/root/repo/src/data/presets.cc" "CMakeFiles/kvec.dir/src/data/presets.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/presets.cc.o.d"
+  "/root/repo/src/data/session.cc" "CMakeFiles/kvec.dir/src/data/session.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/session.cc.o.d"
+  "/root/repo/src/data/stats.cc" "CMakeFiles/kvec.dir/src/data/stats.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/stats.cc.o.d"
+  "/root/repo/src/data/stop_signal_generator.cc" "CMakeFiles/kvec.dir/src/data/stop_signal_generator.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/stop_signal_generator.cc.o.d"
+  "/root/repo/src/data/traffic_generator.cc" "CMakeFiles/kvec.dir/src/data/traffic_generator.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/traffic_generator.cc.o.d"
+  "/root/repo/src/data/types.cc" "CMakeFiles/kvec.dir/src/data/types.cc.o" "gcc" "CMakeFiles/kvec.dir/src/data/types.cc.o.d"
+  "/root/repo/src/exp/cache.cc" "CMakeFiles/kvec.dir/src/exp/cache.cc.o" "gcc" "CMakeFiles/kvec.dir/src/exp/cache.cc.o.d"
+  "/root/repo/src/exp/cv.cc" "CMakeFiles/kvec.dir/src/exp/cv.cc.o" "gcc" "CMakeFiles/kvec.dir/src/exp/cv.cc.o.d"
+  "/root/repo/src/exp/method.cc" "CMakeFiles/kvec.dir/src/exp/method.cc.o" "gcc" "CMakeFiles/kvec.dir/src/exp/method.cc.o.d"
+  "/root/repo/src/exp/sweep.cc" "CMakeFiles/kvec.dir/src/exp/sweep.cc.o" "gcc" "CMakeFiles/kvec.dir/src/exp/sweep.cc.o.d"
+  "/root/repo/src/metrics/calibration.cc" "CMakeFiles/kvec.dir/src/metrics/calibration.cc.o" "gcc" "CMakeFiles/kvec.dir/src/metrics/calibration.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "CMakeFiles/kvec.dir/src/metrics/metrics.cc.o" "gcc" "CMakeFiles/kvec.dir/src/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "CMakeFiles/kvec.dir/src/nn/attention.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/attention.cc.o.d"
+  "/root/repo/src/nn/init.cc" "CMakeFiles/kvec.dir/src/nn/init.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "CMakeFiles/kvec.dir/src/nn/layers.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/layers.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "CMakeFiles/kvec.dir/src/nn/lstm_cell.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/module.cc" "CMakeFiles/kvec.dir/src/nn/module.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "CMakeFiles/kvec.dir/src/nn/optimizer.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/scheduler.cc" "CMakeFiles/kvec.dir/src/nn/scheduler.cc.o" "gcc" "CMakeFiles/kvec.dir/src/nn/scheduler.cc.o.d"
+  "/root/repo/src/tensor/buffer_pool.cc" "CMakeFiles/kvec.dir/src/tensor/buffer_pool.cc.o" "gcc" "CMakeFiles/kvec.dir/src/tensor/buffer_pool.cc.o.d"
+  "/root/repo/src/tensor/kernels.cc" "CMakeFiles/kvec.dir/src/tensor/kernels.cc.o" "gcc" "CMakeFiles/kvec.dir/src/tensor/kernels.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/kvec.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/kvec.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/kvec.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/kvec.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/check.cc" "CMakeFiles/kvec.dir/src/util/check.cc.o" "gcc" "CMakeFiles/kvec.dir/src/util/check.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/kvec.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/kvec.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "CMakeFiles/kvec.dir/src/util/serialize.cc.o" "gcc" "CMakeFiles/kvec.dir/src/util/serialize.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/kvec.dir/src/util/table.cc.o" "gcc" "CMakeFiles/kvec.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/kvec.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/kvec.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_calibration_test.dir/tests/metrics_calibration_test.cc.o"
+  "CMakeFiles/metrics_calibration_test.dir/tests/metrics_calibration_test.cc.o.d"
+  "metrics_calibration_test"
+  "metrics_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_encoder.dir/bench/micro_encoder.cc.o"
+  "CMakeFiles/micro_encoder.dir/bench/micro_encoder.cc.o.d"
+  "micro_encoder"
+  "micro_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_scheduler_test.dir/tests/nn_scheduler_test.cc.o"
+  "CMakeFiles/nn_scheduler_test.dir/tests/nn_scheduler_test.cc.o.d"
+  "nn_scheduler_test"
+  "nn_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

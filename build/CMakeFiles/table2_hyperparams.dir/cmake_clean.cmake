@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hyperparams.dir/bench/table2_hyperparams.cc.o"
+  "CMakeFiles/table2_hyperparams.dir/bench/table2_hyperparams.cc.o.d"
+  "table2_hyperparams"
+  "table2_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
