@@ -1,0 +1,154 @@
+#include "core/sharded_stream_server.h"
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace kvec {
+
+namespace {
+
+// Wellons' lowbias32 integer mixer: adjacent key ids must land on
+// different shards, so the trivial key % num_shards is not enough once
+// callers assign keys in blocks (episode offsets, per-tenant ranges).
+uint32_t MixKey(uint32_t key) {
+  key ^= key >> 16;
+  key *= 0x7feb352dU;
+  key ^= key >> 15;
+  key *= 0x846ca68bU;
+  key ^= key >> 16;
+  return key;
+}
+
+}  // namespace
+
+ShardedStreamServer::ShardedStreamServer(
+    const KvecModel& model, const ShardedStreamServerConfig& config) {
+  KVEC_CHECK_GT(config.num_shards, 0);
+  shards_.reserve(config.num_shards);
+  for (int s = 0; s < config.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->server = std::make_unique<StreamServer>(model, config.shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int ShardedStreamServer::ShardOf(int key) const {
+  return static_cast<int>(MixKey(static_cast<uint32_t>(key)) %
+                          static_cast<uint32_t>(shards_.size()));
+}
+
+std::vector<StreamEvent> ShardedStreamServer::Observe(const Item& item) {
+  Shard& shard = *shards_[ShardOf(item.key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.server->Observe(item);
+}
+
+std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
+    const std::vector<Item>& items) {
+  const int num_shards = static_cast<int>(shards_.size());
+  // Route first: per-shard index lists preserve arrival order within a
+  // shard, which is all a shard's serving semantics depend on.
+  std::vector<std::vector<int>> routed(num_shards);
+  for (int i = 0; i < static_cast<int>(items.size()); ++i) {
+    routed[ShardOf(items[i].key)].push_back(i);
+  }
+
+  std::vector<std::vector<StreamEvent>> shard_events(num_shards);
+  auto serve_shard = [&](int s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (int index : routed[s]) {
+      std::vector<StreamEvent> events = shard.server->Observe(items[index]);
+      shard_events[s].insert(shard_events[s].end(), events.begin(),
+                             events.end());
+    }
+  };
+  int active_shards = 0;
+  int last_active = -1;
+  for (int s = 0; s < num_shards; ++s) {
+    if (!routed[s].empty()) {
+      ++active_shards;
+      last_active = s;
+    }
+  }
+  if (active_shards <= 1) {
+    // Entering ParallelFor would mark the thread as inside a parallel
+    // region and force the tensor kernels under Observe to run serial;
+    // with one busy shard there is nothing to fan out, so serve inline.
+    if (active_shards == 1) serve_shard(last_active);
+  } else {
+    // Fan out one chunk per shard. Model inference inside Observe may
+    // itself use ParallelFor; nested regions run inline, so this cannot
+    // deadlock.
+    ParallelFor(0, num_shards, /*grain=*/1, [&](int begin, int end) {
+      for (int s = begin; s < end; ++s) {
+        if (!routed[s].empty()) serve_shard(s);
+      }
+    });
+  }
+
+  size_t total = 0;
+  for (const auto& events : shard_events) total += events.size();
+  std::vector<StreamEvent> merged;
+  merged.reserve(total);
+  for (const auto& events : shard_events) {
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  return merged;
+}
+
+std::vector<StreamEvent> ShardedStreamServer::Flush() {
+  std::vector<StreamEvent> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::vector<StreamEvent> events = shard->server->Flush();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  return merged;
+}
+
+StreamServerStats ShardedStreamServer::stats() const {
+  StreamServerStats merged;
+  merged.windows_started = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    const StreamServerStats& s = shard->server->stats();
+    merged.items_processed += s.items_processed;
+    merged.sequences_classified += s.sequences_classified;
+    merged.policy_halts += s.policy_halts;
+    merged.idle_timeouts += s.idle_timeouts;
+    merged.capacity_evictions += s.capacity_evictions;
+    merged.rotation_classifications += s.rotation_classifications;
+    merged.flush_classifications += s.flush_classifications;
+    merged.windows_started += s.windows_started;
+    if (merged.class_counts.size() < s.class_counts.size()) {
+      merged.class_counts.resize(s.class_counts.size(), 0);
+    }
+    for (size_t c = 0; c < s.class_counts.size(); ++c) {
+      merged.class_counts[c] += s.class_counts[c];
+    }
+  }
+  return merged;
+}
+
+StreamServerStats ShardedStreamServer::shard_stats(int shard) const {
+  KVEC_CHECK_GE(shard, 0);
+  KVEC_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->server->stats();
+}
+
+int ShardedStreamServer::open_keys() const {
+  int total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->server->open_keys();
+  }
+  return total;
+}
+
+}  // namespace kvec

@@ -1,0 +1,94 @@
+// Concurrent stream serving: N StreamServer shards behind a key hash.
+//
+// One StreamServer is inherently serial — every item mutates one engine,
+// one open-key map, one stats block — and its engine's correlation tracker
+// scans all open sessions per item, so per-item cost grows with the number
+// of concurrently open keys. ShardedStreamServer partitions the key space
+// across `num_shards` independent shards, each owning a full StreamServer
+// (engine + open-key state + stats) behind a per-shard mutex:
+//
+//   * throughput — items of different shards are served in parallel;
+//     ObserveBatch fans a batch out across shards on the global ThreadPool,
+//     and concurrent callers of Observe/ObserveBatch only contend when
+//     their keys hash to the same shard.
+//   * per-item cost — each shard's engine tracks ~1/num_shards of the open
+//     keys, so the correlation scan and the attention visibility sets
+//     shrink proportionally. This makes sharding faster even single
+//     threaded (see bench/micro_stream_shard.cc).
+//
+// The trade-off, stated once here and assumed everywhere: cross-shard
+// value correlations are cut. Two keys that hash to different shards never
+// see each other's sessions, exactly as if they had been served by
+// separate processes. Keys whose correlations matter should hash together
+// (the partitioning is by key only, so this matches the paper's deployment
+// where a flow's items always carry the same key). Within a shard the
+// semantics are identical to StreamServer: feed the same sub-stream to a
+// standalone StreamServer and you get the same verdicts (covered by
+// core_sharded_stream_server_test.cc).
+//
+// Bounds are per shard: global capacity is num_shards * max_open_keys and
+// idle timeouts / window rotations are measured in per-shard stream
+// positions (a shard's clock only advances when it receives an item).
+#ifndef KVEC_CORE_SHARDED_STREAM_SERVER_H_
+#define KVEC_CORE_SHARDED_STREAM_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/stream_server.h"
+
+namespace kvec {
+
+struct ShardedStreamServerConfig {
+  int num_shards = 8;
+  // Per-shard bounds, applied to each shard's StreamServer independently.
+  StreamServerConfig shard;
+};
+
+class ShardedStreamServer {
+ public:
+  // `model` must be trained and outlive the server. Builds `num_shards`
+  // independent engines.
+  ShardedStreamServer(const KvecModel& model,
+                      const ShardedStreamServerConfig& config);
+
+  // The shard an item with this key is routed to (deterministic hash).
+  int ShardOf(int key) const;
+
+  // Routes the item to its shard and serves it there. Thread-safe: callers
+  // on different shards proceed in parallel, same-shard callers serialize
+  // on the shard mutex.
+  std::vector<StreamEvent> Observe(const Item& item);
+
+  // Batched ingest: fans `items` out to their shards via the global
+  // ThreadPool and serves each shard's sub-batch in arrival order under
+  // that shard's mutex. Returned events are grouped by shard (shard 0's
+  // events first), in emission order within a shard. Thread-safe.
+  std::vector<StreamEvent> ObserveBatch(const std::vector<Item>& items);
+
+  // Force-classifies all still-open keys on every shard.
+  std::vector<StreamEvent> Flush();
+
+  // Merged view across shards: counters and class_counts are summed;
+  // windows_started is the total across shards (each shard starts at 1).
+  StreamServerStats stats() const;
+
+  // One shard's own stats (copied under its mutex).
+  StreamServerStats shard_stats(int shard) const;
+
+  int open_keys() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unique_ptr<StreamServer> server;  // guarded by mutex
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_CORE_SHARDED_STREAM_SERVER_H_

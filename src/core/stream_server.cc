@@ -1,7 +1,5 @@
 #include "core/stream_server.h"
 
-#include <algorithm>
-
 #include "tensor/tensor.h"
 #include "util/check.h"
 
@@ -39,8 +37,19 @@ void StreamServer::RecordEvent(const StreamEvent& event) {
       ++stats_.rotation_classifications;
       break;
     case StreamEvent::Cause::kFlush:
+      ++stats_.flush_classifications;
       break;
   }
+}
+
+void StreamServer::CloseKey(OpenKeyMap::iterator it) {
+  by_last_seen_.erase({it->second.last_seen, it->first});
+  open_.erase(it);
+}
+
+void StreamServer::CloseKey(int key) {
+  auto it = open_.find(key);
+  if (it != open_.end()) CloseKey(it);
 }
 
 void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
@@ -52,7 +61,7 @@ void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
   event.cause = cause;
   event.observed_items = engine_->ObservedItems(key);
   event.predicted_label = engine_->ForceClassify(key, &event.confidence);
-  open_.erase(it);
+  CloseKey(it);
   RecordEvent(event);
   events->push_back(event);
 }
@@ -71,14 +80,12 @@ void StreamServer::RotateWindow(std::vector<StreamEvent>* events) {
 }
 
 void StreamServer::EvictIdle(std::vector<StreamEvent>* events) {
-  std::vector<int> idle;
-  for (const auto& [key, state] : open_) {
-    if (position_ - state.last_seen > config_.idle_timeout) {
-      idle.push_back(key);
-    }
-  }
-  for (int key : idle) {
-    ForceClose(key, StreamEvent::Cause::kIdleTimeout, events);
+  // Oldest-first walk of the recency index: stop at the first key still
+  // inside its idle window. O(evicted), not O(open keys).
+  while (!by_last_seen_.empty() &&
+         position_ - by_last_seen_.begin()->first >= config_.idle_timeout) {
+    ForceClose(by_last_seen_.begin()->second, StreamEvent::Cause::kIdleTimeout,
+               events);
   }
 }
 
@@ -96,11 +103,10 @@ std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
 
   if (decision.already_halted) {
     // The engine still tracks the item (its visibility matters for other
-    // keys), but the key's verdict was already emitted.
-    return events;
-  }
-  if (decision.halted_now) {
-    open_.erase(item.key);
+    // keys), but the key's verdict was already emitted. The idle sweep
+    // below must still run: these items advance the clock like any other.
+  } else if (decision.halted_now) {
+    CloseKey(item.key);
     StreamEvent event;
     event.key = item.key;
     event.predicted_label = decision.predicted_label;
@@ -110,15 +116,14 @@ std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
     RecordEvent(event);
     events.push_back(event);
   } else {
-    open_[item.key].last_seen = position_;
+    auto [it, inserted] = open_.try_emplace(item.key);
+    if (!inserted) by_last_seen_.erase({it->second.last_seen, item.key});
+    it->second.last_seen = position_;
+    by_last_seen_.insert({position_, item.key});
     if (static_cast<int>(open_.size()) > config_.max_open_keys) {
-      // Evict the least recently active key.
-      auto lru = std::min_element(open_.begin(), open_.end(),
-                                  [](const auto& a, const auto& b) {
-                                    return a.second.last_seen <
-                                           b.second.last_seen;
-                                  });
-      ForceClose(lru->first, StreamEvent::Cause::kCapacityEviction, &events);
+      // Evict the least recently active key: the front of the recency index.
+      ForceClose(by_last_seen_.begin()->second,
+                 StreamEvent::Cause::kCapacityEviction, &events);
     }
   }
 

@@ -17,6 +17,11 @@
 //   * capacity eviction — when more than `max_open_keys` keys are open,
 //     the least recently active one is force-classified.
 //
+// Both evictions are driven by a last-seen index (an ordered set of
+// (last_seen, key) pairs mirroring the open map), so capacity eviction is
+// O(log open_keys) per item and an idle sweep is O(evicted), never a full
+// scan of the open set.
+//
 // Every classification (policy halt or forced) is emitted as a
 // StreamEvent, with the cause recorded, so downstream consumers see one
 // verdict per key-value sequence.
@@ -26,6 +31,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/online.h"
@@ -36,10 +43,16 @@ struct StreamServerConfig {
   // Engine rebuild period, in stream items. Should be much larger than the
   // model's value-correlation window so rotations rarely cut correlations.
   int max_window_items = 4096;
-  // Evict a key after this many stream positions without a new item.
+  // Evict a key once `idle_timeout` stream positions have passed since its
+  // last item, i.e. when position - last_seen >= idle_timeout. A key last
+  // seen at position p survives items p+1 .. p+idle_timeout-1 and is
+  // evicted by the check at position p+idle_timeout.
   int idle_timeout = 512;
-  // Idle keys are scanned every `idle_check_interval` items (a full scan
-  // per item would be O(open keys) each).
+  // Idle keys are swept every `idle_check_interval` items, so eviction can
+  // lag the deadline by up to idle_check_interval-1 positions. The sweep
+  // walks the last-seen index oldest-first and is O(evicted), so 1 is an
+  // acceptable setting; the default stays coarse for deployments that want
+  // evictions batched.
   int idle_check_interval = 32;
   // Maximum concurrently open keys before LRU eviction.
   int max_open_keys = 1024;
@@ -64,10 +77,12 @@ struct StreamEvent {
 struct StreamServerStats {
   int64_t items_processed = 0;
   int64_t sequences_classified = 0;
+  // Per-cause verdict counters; they partition sequences_classified.
   int64_t policy_halts = 0;
   int64_t idle_timeouts = 0;
   int64_t capacity_evictions = 0;
   int64_t rotation_classifications = 0;
+  int64_t flush_classifications = 0;
   int windows_started = 1;
   std::vector<int64_t> class_counts;  // predictions per class
 };
@@ -103,12 +118,22 @@ class StreamServer {
   void EvictIdle(std::vector<StreamEvent>* events);
   void RecordEvent(const StreamEvent& event);
 
+  using OpenKeyMap = std::map<int, OpenKey>;
+
+  // Remove a key from open_ and by_last_seen_ together — the only place
+  // the two structures' mirror invariant is maintained on the close path.
+  void CloseKey(OpenKeyMap::iterator it);
+  void CloseKey(int key);  // no-op if not open
+
   const KvecModel& model_;
   StreamServerConfig config_;
   std::unique_ptr<OnlineClassifier> engine_;
-  std::map<int, OpenKey> open_;  // keys fed to the engine, not yet closed
-  int64_t position_ = 0;         // global items processed
-  int window_items_ = 0;         // items in the current engine window
+  OpenKeyMap open_;  // keys fed to the engine, not yet closed
+  // Mirror of open_ ordered by recency: one (last_seen, key) entry per open
+  // key. begin() is the LRU candidate; idle sweeps walk it oldest-first.
+  std::set<std::pair<int64_t, int>> by_last_seen_;
+  int64_t position_ = 0;  // global items processed
+  int window_items_ = 0;  // items in the current engine window
   StreamServerStats stats_;
 };
 

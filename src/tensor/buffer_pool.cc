@@ -22,15 +22,19 @@ std::vector<float> BufferPool::Take(size_t n) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (enabled_ && n > 0) {
     // Smallest cached buffer whose capacity fits; an exact-size match is
-    // the common case because op shapes repeat every step.
+    // the common case because op shapes repeat every step. Everything at
+    // and beyond lower_bound only grows, so if the smallest sufficient
+    // buffer exceeds the slack cap, all candidates do.
     auto it = free_lists_.lower_bound(n);
-    if (it != free_lists_.end()) {
+    if (it != free_lists_.end() &&
+        it->first <= n * kMaxCapacitySlackFactor) {
       buffer = std::move(it->second.back());
       it->second.pop_back();
       cached_floats_ -= it->first;
       if (it->second.empty()) free_lists_.erase(it);
       ++stats_.hits;
     } else {
+      if (it != free_lists_.end()) ++stats_.oversized_rejects;
       ++stats_.misses;
     }
   } else if (n > 0) {
@@ -66,9 +70,26 @@ void BufferPool::Release(std::vector<float>&& buffer) {
   const size_t capacity = buffer.capacity();
   if (capacity == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!enabled_ || cached_floats_ + capacity > max_cached_floats_) {
+  if (!enabled_ || capacity > max_cached_floats_) {
     ++stats_.dropped;
     return;  // `buffer` frees on scope exit
+  }
+  // When the budget is full, prefer the incoming buffer over strictly
+  // larger cached ones. Without this, oversized blocks that the slack cap
+  // keeps rejecting at Take() would occupy the budget forever, wedging the
+  // pool into an all-miss/all-drop state once the workload's shapes shrink.
+  while (!free_lists_.empty() &&
+         cached_floats_ + capacity > max_cached_floats_) {
+    auto largest = std::prev(free_lists_.end());
+    if (largest->first <= capacity) break;
+    largest->second.pop_back();  // frees one largest cached buffer
+    cached_floats_ -= largest->first;
+    if (largest->second.empty()) free_lists_.erase(largest);
+    ++stats_.evicted;
+  }
+  if (cached_floats_ + capacity > max_cached_floats_) {
+    ++stats_.dropped;
+    return;
   }
   free_lists_[capacity].push_back(std::move(buffer));
   cached_floats_ += capacity;
@@ -78,6 +99,11 @@ void BufferPool::Release(std::vector<float>&& buffer) {
 void BufferPool::SetEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mutex_);
   enabled_ = enabled;
+}
+
+void BufferPool::SetMaxCachedFloats(size_t max_cached_floats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_cached_floats_ = max_cached_floats;
 }
 
 bool BufferPool::enabled() const {

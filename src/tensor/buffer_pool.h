@@ -5,8 +5,9 @@
 // per stream item. Instead of hitting the allocator each time, TensorImpl
 // returns its buffers here on destruction and Tensor::Zeros/Full (and
 // EnsureGrad) reacquire them. Buffers are keyed by capacity and handed out
-// smallest-sufficient-first, so steady-state training/serving recycles the
-// same arena of vectors with zero malloc traffic.
+// smallest-sufficient-first (bounded by kMaxCapacitySlackFactor, below), so
+// steady-state training/serving recycles the same arena of vectors with
+// zero malloc traffic.
 //
 // The pool is bounded (kDefaultMaxCachedFloats); releases beyond the bound
 // free normally. Disable with SetEnabled(false) (or KVEC_NO_BUFFER_POOL=1 in
@@ -28,11 +29,23 @@ class BufferPool {
   // ~256 MB of cached float storage.
   static constexpr size_t kDefaultMaxCachedFloats = size_t{1} << 26;
 
+  // A cached buffer is handed out only if its capacity is at most this
+  // factor times the request. Without the cap, the smallest-sufficient
+  // lookup can pin a huge buffer to a tiny request (ask for 16 floats,
+  // receive a 1M-float block), starving later large acquires and inflating
+  // live memory; an oversized candidate is rejected (counted in
+  // Stats::oversized_rejects) and the acquire falls through to a miss.
+  static constexpr size_t kMaxCapacitySlackFactor = 2;
+
   struct Stats {
     uint64_t hits = 0;      // acquires served from the free list
     uint64_t misses = 0;    // acquires that had to allocate
     uint64_t returned = 0;  // buffers accepted back
     uint64_t dropped = 0;   // buffers rejected (pool full/disabled)
+    // Misses where a cached buffer fit but exceeded the slack cap.
+    uint64_t oversized_rejects = 0;
+    // Cached buffers freed to make room for a smaller incoming release.
+    uint64_t evicted = 0;
     size_t cached_floats = 0;
     size_t cached_buffers = 0;
   };
@@ -54,6 +67,10 @@ class BufferPool {
 
   void SetEnabled(bool enabled);
   bool enabled() const;
+
+  // Caps cached storage (in floats). Shrinking below the current cache
+  // does not free anything eagerly; the next releases rebalance.
+  void SetMaxCachedFloats(size_t max_cached_floats);
 
   // Drops all cached buffers (keeps the enabled flag).
   void Clear();

@@ -1,0 +1,122 @@
+#include "tensor/buffer_pool.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+// Release a fresh buffer of exactly `capacity` floats into the pool.
+void ReleaseWithCapacity(BufferPool& pool, size_t capacity) {
+  std::vector<float> buffer;
+  buffer.reserve(capacity);
+  ASSERT_EQ(buffer.capacity(), capacity);
+  pool.Release(std::move(buffer));
+}
+
+TEST(BufferPoolTest, RoundTripHitsAndSlackCap) {
+  BufferPool& pool = BufferPool::Global();
+  pool.SetEnabled(true);
+  pool.Clear();
+
+  // Exact-capacity round trip is a hit.
+  ReleaseWithCapacity(pool, 64);
+  const BufferPool::Stats before = pool.stats();
+  std::vector<float> exact = pool.AcquireUninitialized(64);
+  EXPECT_EQ(exact.size(), 64u);
+  EXPECT_EQ(exact.capacity(), 64u);
+  EXPECT_EQ(pool.stats().hits, before.hits + 1);
+  pool.Release(std::move(exact));
+
+  // Capacity exactly at the slack cap (2x the request) is still handed out.
+  std::vector<float> slack = pool.AcquireUninitialized(32);
+  EXPECT_EQ(slack.size(), 32u);
+  EXPECT_EQ(slack.capacity(), 64u);
+  EXPECT_EQ(pool.stats().hits, before.hits + 2);
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, OversizedCachedBufferIsNotHandedOut) {
+  BufferPool& pool = BufferPool::Global();
+  pool.SetEnabled(true);
+  pool.Clear();
+
+  // A 1M-float block is cached; a 16-float request must NOT receive it
+  // (that would pin ~4 MB to a 64-byte need and starve later big acquires).
+  constexpr size_t kBig = size_t{1} << 20;
+  ReleaseWithCapacity(pool, kBig);
+  const BufferPool::Stats before = pool.stats();
+
+  std::vector<float> small = pool.AcquireUninitialized(16);
+  EXPECT_EQ(small.size(), 16u);
+  EXPECT_LT(small.capacity(), kBig);
+  BufferPool::Stats after = pool.stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.oversized_rejects, before.oversized_rejects + 1);
+  EXPECT_EQ(after.cached_buffers, 1u);  // the big block stays pooled
+
+  // Just above half the cached capacity satisfies the 2x cap: served.
+  std::vector<float> fits = pool.AcquireUninitialized(kBig / 2);
+  EXPECT_EQ(fits.capacity(), kBig);
+  after = pool.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.cached_buffers, 0u);
+
+  // One float below the 2x boundary: rejected again.
+  pool.Release(std::move(fits));
+  std::vector<float> too_small = pool.AcquireUninitialized(kBig / 2 - 1);
+  EXPECT_LT(too_small.capacity(), kBig);
+  after = pool.stats();
+  EXPECT_EQ(after.oversized_rejects, before.oversized_rejects + 2);
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, StaleGiantsAreEvictedUnderReleasePressure) {
+  // A cached block that keeps being rejected by the slack cap must not
+  // occupy the budget forever: releases of smaller buffers evict strictly
+  // larger cached ones when the budget is full, so the pool recovers once
+  // the workload's shapes shrink.
+  BufferPool& pool = BufferPool::Global();
+  pool.SetEnabled(true);
+  pool.Clear();
+  pool.SetMaxCachedFloats(1000);
+
+  ReleaseWithCapacity(pool, 800);
+  const BufferPool::Stats before = pool.stats();
+  EXPECT_EQ(before.cached_floats, 800u);
+
+  // 800 + 300 exceeds the budget; the giant is strictly larger, so it is
+  // freed and the incoming buffer is accepted.
+  ReleaseWithCapacity(pool, 300);
+  BufferPool::Stats after = pool.stats();
+  EXPECT_EQ(after.evicted, before.evicted + 1);
+  EXPECT_EQ(after.cached_floats, 300u);
+  EXPECT_EQ(after.cached_buffers, 1u);
+
+  // An incoming buffer at least as large as everything cached is dropped,
+  // not swapped in (no strictly-larger buffer to evict).
+  ReleaseWithCapacity(pool, 900);
+  after = pool.stats();
+  EXPECT_EQ(after.evicted, before.evicted + 1);
+  EXPECT_EQ(after.dropped, before.dropped + 1);
+  EXPECT_EQ(after.cached_floats, 300u);
+
+  pool.SetMaxCachedFloats(BufferPool::kDefaultMaxCachedFloats);
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, AcquireFillsRequestedValue) {
+  BufferPool& pool = BufferPool::Global();
+  pool.SetEnabled(true);
+  pool.Clear();
+  ReleaseWithCapacity(pool, 48);
+  std::vector<float> buffer = pool.Acquire(40, 2.5f);
+  ASSERT_EQ(buffer.size(), 40u);
+  for (float value : buffer) EXPECT_EQ(value, 2.5f);
+  pool.Clear();
+}
+
+}  // namespace
+}  // namespace kvec

@@ -92,13 +92,20 @@ TEST(StreamServerTest, StatsAddUp) {
     total_items += static_cast<int64_t>(episode.items.size());
     offset += 100;
   }
-  server.Flush();
+  const int64_t flushed = static_cast<int64_t>(server.Flush().size());
   const StreamServerStats& stats = server.stats();
   EXPECT_EQ(stats.items_processed, total_items);
   int64_t by_class = 0;
   for (int64_t count : stats.class_counts) by_class += count;
   EXPECT_EQ(by_class, stats.sequences_classified);
   EXPECT_GE(stats.sequences_classified, stats.policy_halts);
+  // Every verdict has exactly one cause: the per-cause counters partition
+  // sequences_classified.
+  EXPECT_EQ(stats.flush_classifications, flushed);
+  EXPECT_EQ(stats.policy_halts + stats.idle_timeouts +
+                stats.capacity_evictions + stats.rotation_classifications +
+                stats.flush_classifications,
+            stats.sequences_classified);
 }
 
 TEST(StreamServerTest, IdleKeysAreEvicted) {
@@ -130,6 +137,81 @@ TEST(StreamServerTest, IdleKeysAreEvicted) {
   EXPECT_GE(server.stats().idle_timeouts, 1);
 }
 
+TEST(StreamServerTest, IdleEvictionBoundaryCases) {
+  // Documented semantics: a key last seen at position p is evicted once
+  // position - p >= idle_timeout, i.e. it survives the idle_timeout - 1
+  // following items and is evicted by the check after the idle_timeout-th.
+  Fixture fixture = TrainSmallModel(63);
+  StreamServerConfig config;
+  config.idle_timeout = 8;
+  config.idle_check_interval = 1;
+  StreamServer server(*fixture.model, config);
+
+  Item probe = fixture.dataset.test[0].items[0];
+  probe.key = 1000;
+  // The probe must stay open for the test to mean anything (with this
+  // fixture it does not policy-halt on its first item).
+  ASSERT_TRUE(server.Observe(probe).empty());
+
+  // Positions 2..8: the probe's gap is 1..7 < idle_timeout. Not evicted.
+  Item filler = fixture.dataset.test[0].items[0];
+  for (int i = 0; i < config.idle_timeout - 1; ++i) {
+    filler.key = 2000 + i;
+    for (const StreamEvent& event : server.Observe(filler)) {
+      EXPECT_NE(event.key, 1000)
+          << "evicted at gap " << i + 1 << " < idle_timeout";
+    }
+  }
+
+  // Position 9: the probe's gap reaches exactly idle_timeout. Evicted now.
+  filler.key = 3000;
+  bool evicted = false;
+  for (const StreamEvent& event : server.Observe(filler)) {
+    if (event.key == 1000) {
+      EXPECT_EQ(event.cause, StreamEvent::Cause::kIdleTimeout);
+      evicted = true;
+    }
+  }
+  EXPECT_TRUE(evicted) << "not evicted at gap == idle_timeout";
+}
+
+TEST(StreamServerTest, IdleSweepRunsOnAlreadyHaltedItems) {
+  // A stream tail made of items for keys that already got their verdict
+  // must still advance the idle clock and evict idle keys on schedule.
+  Fixture fixture = TrainSmallModel(63);
+  StreamServerConfig config;
+  config.idle_timeout = 8;
+  config.idle_check_interval = 1;
+  StreamServer server(*fixture.model, config);
+
+  Item probe = fixture.dataset.test[0].items[0];
+  probe.key = 1000;
+  ASSERT_TRUE(server.Observe(probe).empty());  // probe stays open
+
+  // Open a second key, then force-close it so its later items are
+  // already-halted from the engine's point of view.
+  Item tail = fixture.dataset.test[0].items[0];
+  tail.key = 2000;
+  server.Observe(tail);
+  server.Flush();  // closes both; reopen the probe
+  ASSERT_EQ(server.open_keys(), 0);
+  probe.key = 1001;
+  ASSERT_TRUE(server.Observe(probe).empty());
+
+  // Feed only already-halted key-2000 items; the probe must still be
+  // idle-evicted once its gap reaches idle_timeout.
+  bool evicted = false;
+  for (int i = 0; i < 2 * config.idle_timeout && !evicted; ++i) {
+    for (const StreamEvent& event : server.Observe(tail)) {
+      if (event.key == 1001) {
+        EXPECT_EQ(event.cause, StreamEvent::Cause::kIdleTimeout);
+        evicted = true;
+      }
+    }
+  }
+  EXPECT_TRUE(evicted) << "already-halted tail items skipped the idle sweep";
+}
+
 TEST(StreamServerTest, CapacityCapHolds) {
   Fixture fixture = TrainSmallModel(64);
   StreamServerConfig config;
@@ -144,6 +226,48 @@ TEST(StreamServerTest, CapacityCapHolds) {
     item.time = key;
     server.Observe(item);
     EXPECT_LE(server.open_keys(), 4);
+  }
+  EXPECT_GE(server.stats().capacity_evictions, 1);
+}
+
+TEST(StreamServerTest, CapacityEvictionPicksLeastRecentlyActive) {
+  // Shadow the server's recency bookkeeping and check every capacity
+  // eviction hits the key with the smallest last-activity position.
+  Fixture fixture = TrainSmallModel(64);
+  StreamServerConfig config;
+  config.max_open_keys = 4;
+  config.idle_timeout = 1 << 20;
+  StreamServer server(*fixture.model, config);
+
+  std::map<int, int64_t> last_seen;  // open keys -> latest position
+  std::set<int> closed;              // keys that already got their verdict
+  Item base = fixture.dataset.test[0].items[0];
+  std::vector<int> key_at;  // key of the i-th item
+  int next_key = 0;
+  int64_t position = 0;
+  for (int i = 0; i < 200; ++i) {
+    Item item = base;
+    // Mostly fresh keys (forcing evictions), with every 4th item
+    // re-touching a recent key so refreshed recency is exercised too.
+    item.key = (i % 4 == 3) ? key_at[i - 3] : next_key++;
+    key_at.push_back(item.key);
+    item.time = i;
+    ++position;
+    std::vector<StreamEvent> events = server.Observe(item);
+    if (!closed.count(item.key)) last_seen[item.key] = position;
+    for (const StreamEvent& event : events) {
+      if (event.cause == StreamEvent::Cause::kCapacityEviction) {
+        auto lru = last_seen.begin();
+        for (auto it = last_seen.begin(); it != last_seen.end(); ++it) {
+          if (it->second < lru->second) lru = it;
+        }
+        EXPECT_EQ(event.key, lru->first)
+            << "eviction skipped the least recently active key";
+      }
+      last_seen.erase(event.key);
+      closed.insert(event.key);
+    }
+    EXPECT_LE(server.open_keys(), config.max_open_keys);
   }
   EXPECT_GE(server.stats().capacity_evictions, 1);
 }
