@@ -4,9 +4,13 @@
 // Two effects are measured:
 //  * BM_ShardedStreamThroughput — items/sec of ShardedStreamServer at 1-8
 //    shards over a maximally tangled synthetic stream (hundreds of
-//    concurrent keys sharing one session value). Each shard's engine scans
-//    only its own open sessions, so throughput rises with the shard count
-//    even single-threaded; worker threads stack on top where available.
+//    concurrent keys sharing one session value). Historically sharding
+//    helped even single-threaded because each shard's engine scanned only
+//    its own open sessions; the PR-3 inverted correlation index removed
+//    that scan, so single-core throughput now peaks at 1 shard and extra
+//    shards pay for themselves only via the multi-core ObserveBatch
+//    fan-out (see docs/SERVING.md and bench/micro_pipeline.cc's
+//    BM_StreamServeEndToEnd).
 //  * BM_CapacityEvictionSteadyState — per-item cost of StreamServer at the
 //    capacity limit (every item evicts). With the (last_seen, key) index
 //    this is O(log open_keys); the pre-index full scan was O(open_keys)

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Runs the PR-1 performance-tracking benchmarks and emits BENCH_PR1.json
-# (ops/sec for matmul, masked softmax, and the end-to-end incremental
-# encoder step).
+# Runs the performance-tracking benchmarks and emits
+#   BENCH_PR1.json — tensor backend (matmul, masked softmax, incremental
+#                    encoder step; the PR-1 kernels),
+#   BENCH_PR3.json — streaming serving path (end-to-end items/sec single-item
+#                    vs microbatched at 1-8 shards on an 8k-key tangled
+#                    stream, and CorrelationTracker::ObserveItem cost at
+#                    1k-100k open keys; the PR-3 pipeline).
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_json]
-#   build_dir  defaults to ./build (must contain micro_ops / micro_encoder)
-#   out_json   defaults to ./BENCH_PR1.json
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3]
+#   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
+#              micro_pipeline)
+#   out_pr1    defaults to ./BENCH_PR1.json
+#   out_pr3    defaults to ./BENCH_PR3.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -13,23 +19,15 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR1.json}"
+OUT_PR1="${2:-BENCH_PR1.json}"
+OUT_PR3="${3:-BENCH_PR3.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
 export KVEC_NUM_THREADS="${KVEC_NUM_THREADS:-1}"
 
-"${BUILD_DIR}/micro_ops" \
-  --benchmark_filter='BM_MatMul/|BM_MaskedSoftmax' \
-  --benchmark_min_time=0.2 \
-  --benchmark_out="${TMP_DIR}/ops.json" --benchmark_out_format=json
-
-"${BUILD_DIR}/micro_encoder" \
-  --benchmark_filter='BM_IncrementalStreamEncode' \
-  --benchmark_min_time=0.2 \
-  --benchmark_out="${TMP_DIR}/encoder.json" --benchmark_out_format=json
-
-python3 - "${TMP_DIR}/ops.json" "${TMP_DIR}/encoder.json" "${OUT_JSON}" <<'EOF'
+merge_reports() {
+  python3 - "$@" <<'EOF'
 import json
 import sys
 
@@ -57,3 +55,27 @@ with open(sys.argv[-1], "w") as f:
     f.write("\n")
 print(f"wrote {sys.argv[-1]}")
 EOF
+}
+
+# ---- PR 1: tensor backend ----
+
+"${BUILD_DIR}/micro_ops" \
+  --benchmark_filter='BM_MatMul/|BM_MaskedSoftmax' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/ops.json" --benchmark_out_format=json
+
+"${BUILD_DIR}/micro_encoder" \
+  --benchmark_filter='BM_IncrementalStreamEncode' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/encoder.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/ops.json" "${TMP_DIR}/encoder.json" "${OUT_PR1}"
+
+# ---- PR 3: streaming serving path ----
+
+"${BUILD_DIR}/micro_pipeline" \
+  --benchmark_filter='BM_StreamServeEndToEnd|BM_CorrelationObserve' \
+  --benchmark_min_time=0.5 \
+  --benchmark_out="${TMP_DIR}/serving.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/serving.json" "${OUT_PR3}"

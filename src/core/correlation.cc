@@ -13,6 +13,36 @@ CorrelationTracker::CorrelationTracker(const CorrelationOptions& options)
   KVEC_CHECK_GT(options_.value_correlation_window, 0);
 }
 
+void CorrelationTracker::AppendValueMatches(int own_key, int session_value,
+                                            int index,
+                                            std::vector<int>* visible) const {
+  auto bucket_it = by_value_.find(session_value);
+  if (bucket_it == by_value_.end()) return;
+  const std::map<int, int>& bucket = bucket_it->second;
+
+  std::vector<int> cross;  // value-correlated items of *other* keys
+  // Newest-first walk; every session past the first stale one is staler
+  // still (the bucket is ordered by last_index), so the walk touches only
+  // sessions inside the window.
+  for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
+    if (index - it->first > options_.value_correlation_window) break;
+    if (it->second == own_key) continue;  // same key is key correlation
+    const OpenSession& session = open_sessions_.at(it->second);
+    cross.insert(cross.end(), session.item_indices.begin(),
+                 session.item_indices.end());
+  }
+  // Canonical ascending order (the pre-index tracker emitted sessions in
+  // key order; sorting makes the order deterministic and keeps the capped
+  // and uncapped paths consistent).
+  std::sort(cross.begin(), cross.end());
+  if (options_.max_value_correlations > 0 &&
+      static_cast<int>(cross.size()) > options_.max_value_correlations) {
+    // Keep only the most recent matches (largest stream positions).
+    cross.erase(cross.begin(), cross.end() - options_.max_value_correlations);
+  }
+  visible->insert(visible->end(), cross.begin(), cross.end());
+}
+
 std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
   const int index = next_index_++;
   KVEC_CHECK_LT(options_.session_field,
@@ -29,36 +59,32 @@ std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
   }
 
   if (options_.use_value_correlation) {
-    std::vector<int> cross;  // value-correlated items of *other* keys
-    for (const auto& [key, session] : open_sessions_) {
-      if (key == item.key) continue;  // same key is key correlation
-      if (session.session_value != session_value) continue;
-      if (index - session.last_index > options_.value_correlation_window) {
-        continue;  // interrupted in time
-      }
-      cross.insert(cross.end(), session.item_indices.begin(),
-                   session.item_indices.end());
-    }
-    if (options_.max_value_correlations > 0 &&
-        static_cast<int>(cross.size()) > options_.max_value_correlations) {
-      // Keep only the most recent matches (largest stream positions).
-      std::sort(cross.begin(), cross.end());
-      cross.erase(cross.begin(),
-                  cross.end() - options_.max_value_correlations);
-    }
-    visible.insert(visible.end(), cross.begin(), cross.end());
+    AppendValueMatches(item.key, session_value, index, &visible);
   }
 
   // Update this key's open session *after* computing visibility so an item
   // never reports itself.
   key_items_[item.key].push_back(index);
   OpenSession& session = open_sessions_[item.key];
-  if (session.item_indices.empty() || session.session_value != session_value) {
+  const bool session_rotates =
+      session.item_indices.empty() || session.session_value != session_value;
+  // Reposition the session in the inverted index: drop the stale
+  // (last_index -> key) entry — from the old value's bucket if the session
+  // value changed — and re-insert under the new recency.
+  if (session.last_index >= 0) {
+    auto old_bucket = by_value_.find(session.session_value);
+    if (old_bucket != by_value_.end()) {
+      old_bucket->second.erase(session.last_index);
+      if (old_bucket->second.empty()) by_value_.erase(old_bucket);
+    }
+  }
+  if (session_rotates) {
     session.session_value = session_value;
     session.item_indices.clear();
   }
   session.item_indices.push_back(index);
   session.last_index = index;
+  by_value_[session_value].emplace(index, item.key);
 
   return visible;
 }

@@ -12,12 +12,25 @@
 // field value matches item i's and whose last item arrived at most
 // `value_correlation_window` stream positions ago ("uninterrupted in time").
 //
+// Value matching is served by an inverted index: for each session value the
+// tracker keeps the open sessions currently carrying that value, ordered by
+// the stream position of their most recent item. An arriving item walks its
+// value's bucket newest-first and stops at the first session outside the
+// recency window, so the per-item cost is O(own-key items + matches +
+// log sessions-sharing-the-value) — independent of the total number of open
+// sessions. The pre-index implementation scanned every open session per
+// item, which is exactly what a busy server with 10⁵ open keys cannot
+// afford (see bench/micro_pipeline.cc, BM_CorrelationObserve).
+//
 // The same tracker drives both the batch mask builder used in training and
-// the online inference engine, so the two cannot drift apart.
+// the online inference engine, so the two cannot drift apart:
+// BuildEpisodeMask is a loop over ObserveItem and therefore exercises the
+// identical index.
 #ifndef KVEC_CORE_CORRELATION_H_
 #define KVEC_CORE_CORRELATION_H_
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -33,6 +46,9 @@ class CorrelationTracker {
   // Registers the next stream item and returns the indices of *earlier*
   // items visible to it (its own index is always implicitly visible).
   // Indices are global stream positions, strictly increasing calls.
+  // Same-key indices come first (ascending); cross-key value-correlated
+  // indices follow, also ascending — a canonical order, so batched and
+  // item-at-a-time consumers see identical sets in identical order.
   std::vector<int> ObserveItem(const Item& item);
 
   int num_observed() const { return next_index_; }
@@ -44,10 +60,22 @@ class CorrelationTracker {
     int last_index = -1;
   };
 
+  // Collects the cross-key value matches for an item with `session_value`
+  // arriving at stream position `index`, appending to `visible`.
+  void AppendValueMatches(int own_key, int session_value, int index,
+                          std::vector<int>* visible) const;
+
   CorrelationOptions options_;
   int next_index_ = 0;
-  std::map<int, std::vector<int>> key_items_;  // key -> item indices
-  std::map<int, OpenSession> open_sessions_;   // key -> current session
+  // Hot per-item lookups: iteration order is not load-bearing, so these are
+  // hash maps (the ordered walk lives in by_value_ below).
+  std::unordered_map<int, std::vector<int>> key_items_;  // key -> items
+  std::unordered_map<int, OpenSession> open_sessions_;   // key -> session
+  // Inverted index: session value -> (last_index -> key) over the open
+  // sessions currently carrying that value. last_index is unique (one item
+  // per stream position), and the map order is recency order, so the window
+  // cutoff is a newest-first walk that stops at the first stale session.
+  std::unordered_map<int, std::map<int, int>> by_value_;
 };
 
 // The dynamic mask matrix over a whole episode.

@@ -49,11 +49,26 @@ class KvrlEncoder : public Module {
 };
 
 // Streaming forward pass over a frozen KvrlEncoder. No gradients, no
-// dropout; caches per-block keys/values/outputs and computes only the new
-// row for each arriving item.
+// dropout; caches per-block keys/values and computes only the new row(s)
+// for each arriving item or microbatch.
+//
+// Memory layout: all cached K/V panels live in ONE contiguous arena drawn
+// from BufferPool and grown geometrically, laid out SoA head-major —
+// for block b and head h the keys of items 0..t form one contiguous
+// [t, head_dim] panel. The attention score loop over an item's visible set
+// therefore gathers contiguous head_dim-long rows (kernels::Dot on
+// sequential memory) instead of striding across a [t, d] row-major matrix,
+// and window rotation returns the whole arena to the pool in one release.
+// (The seed implementation kept three std::vectors per block — including a
+// block-outputs cache that nothing ever read — each reallocating
+// independently as the window grew.)
 class IncrementalEncoder {
  public:
   explicit IncrementalEncoder(const KvrlEncoder& encoder);
+  ~IncrementalEncoder();
+
+  IncrementalEncoder(const IncrementalEncoder&) = delete;
+  IncrementalEncoder& operator=(const IncrementalEncoder&) = delete;
 
   // Appends the next stream item. `position_in_key` is its 0-based index
   // within its key sequence; `visible` lists the earlier stream positions
@@ -62,25 +77,78 @@ class IncrementalEncoder {
   std::vector<float> AppendItem(const Item& item, int position_in_key,
                                 const std::vector<int>& visible);
 
+  // Cross-item microbatch: appends `batch` consecutive stream items at
+  // once. items[i] arrives at stream position num_items() + i with
+  // visibility `visibles[i]` (which may reference earlier items of the
+  // same batch — their K/V rows are cached before any attention runs).
+  // The Q/K/V/FFN projections run as one [batch, d] GemmNN per weight
+  // instead of `batch` row-vector VecMats; only the attention gather and
+  // the layer norms stay per-row. Writes the final-block rows to `rows`
+  // ([batch, d], row-major). Equivalent to `batch` AppendItem calls up to
+  // GEMM summation order (≤1e-5; pinned by core_batch_equivalence_test).
+  void AppendBatch(const Item* items, const int* positions_in_key,
+                   const std::vector<int>* visibles, int batch,
+                   std::vector<float>* rows);
+
   int num_items() const { return num_items_; }
 
  private:
-  struct BlockCache {
-    std::vector<float> keys;     // [t, d] flattened
-    std::vector<float> values;   // [t, d] flattened
-    std::vector<float> outputs;  // [t, d] flattened block outputs
+  // A BufferPool-backed grow-only scratch buffer: the q/k/v/attended/hidden
+  // scratch of the seed implementation was reallocated on every AppendItem
+  // call; these persist per engine and return their storage to the pool on
+  // destruction (so a rotated-in engine reuses the old engine's buffers).
+  class PooledBuffer {
+   public:
+    PooledBuffer() = default;
+    ~PooledBuffer();
+    PooledBuffer(const PooledBuffer&) = delete;
+    PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+    // Grow-only; existing contents are NOT preserved across growth.
+    float* Ensure(size_t n);
+    float* data() { return buffer_.data(); }
+    std::vector<float>& vec() { return buffer_; }
+
+   private:
+    std::vector<float> buffer_;
   };
 
   // y = x W (+ b); row vector times weight matrix.
   static void LinearRow(const std::vector<float>& x, const Tensor& weight,
                         const Tensor& bias, std::vector<float>* y);
   static void LayerNormRow(const Tensor& gamma, const Tensor& beta,
-                           std::vector<float>* x);
+                           float* x, int n);
+
+  // Arena geometry. Panels are per (block, head) for K and V:
+  //   K(b,h) = arena + b·2·C·d + h·C·head_dim
+  //   V(b,h) = arena + b·2·C·d + C·d + h·C·head_dim
+  // where C = capacity_ (items). head_dim·num_heads == d.
+  float* KeyPanel(int block, int head);
+  float* ValuePanel(int block, int head);
+  // Grows the arena (geometrically) to hold at least `min_items` cached
+  // items, repacking the live panels into the new layout.
+  void EnsureCapacity(int min_items);
+  // Scatters one item's k/v rows (length d each) into the head panels.
+  void ScatterKv(int block, int t, const float* k, const float* v);
+  // Masked attention for one query row against the cached panels of
+  // `block`; writes the concatenated head outputs (length d) to `out`.
+  void AttendRow(int block, const MaskedSelfAttention& attention,
+                 const float* q, const std::vector<int>& targets, float* out);
 
   const KvrlEncoder& encoder_;
   int dim_;
+  int head_dim_;
+  int num_heads_;
   int num_items_ = 0;
-  std::vector<BlockCache> caches_;  // one per block
+  int capacity_ = 0;           // cached items the arena can hold
+  std::vector<float> arena_;   // pooled; see layout above
+
+  // Single-row scratch (AppendItem).
+  PooledBuffer x_, q_, k_, v_, attended_, mixed_, h_, hidden_, f_;
+  // Batched scratch (AppendBatch), [batch, ·] panels.
+  PooledBuffer bx_, bq_, bk_, bv_, batt_, bmix_, bh_, bhidden_, bf_;
+  std::vector<float> scores_;
+  std::vector<int> targets_;
 };
 
 }  // namespace kvec

@@ -73,14 +73,19 @@ Tensor InputEmbedding::Forward(const TangledSequence& episode,
 void InputEmbedding::AccumulateItemRow(const Item& item, int position_in_key,
                                        int time_index,
                                        std::vector<float>* row) const {
+  KVEC_CHECK_EQ(static_cast<int>(row->size()), config_.embed_dim);
+  AccumulateItemRow(item, position_in_key, time_index, row->data());
+}
+
+void InputEmbedding::AccumulateItemRow(const Item& item, int position_in_key,
+                                       int time_index, float* row) const {
   const int d = config_.embed_dim;
-  KVEC_CHECK_EQ(static_cast<int>(row->size()), d);
   auto add_table_row = [&](const Embedding& embedding, int id) {
     KVEC_CHECK_GE(id, 0);
     KVEC_CHECK_LT(id, embedding.vocab_size());
     const float* src =
         embedding.table().data().data() + static_cast<size_t>(id) * d;
-    for (int c = 0; c < d; ++c) (*row)[c] += src[c];
+    for (int c = 0; c < d; ++c) row[c] += src[c];
   };
   for (size_t field = 0; field < value_embeddings_.size(); ++field) {
     add_table_row(value_embeddings_[field], item.value[field]);

@@ -43,6 +43,12 @@ class InputEmbedding : public Module {
   void AccumulateItemRow(const Item& item, int position_in_key,
                          int time_index, std::vector<float>* row) const;
 
+  // Same, writing into a raw row of a caller-owned [B, embed_dim] matrix —
+  // the batched streaming path fills its input panel without per-item
+  // vectors.
+  void AccumulateItemRow(const Item& item, int position_in_key,
+                         int time_index, float* row) const;
+
   void CollectParameters(std::vector<Tensor>* out) override;
 
  private:

@@ -10,22 +10,38 @@ OnlineClassifier::OnlineClassifier(const KvecModel& model)
       incremental_(model.encoder()),
       tracker_(model.config().correlation) {}
 
-OnlineDecision OnlineClassifier::Observe(const Item& item) {
+void OnlineClassifier::EncodeBatch(const Item* items, int count,
+                                   std::vector<float>* rows) {
+  KVEC_CHECK_GT(count, 0);
+  // The tracker must see every stream item — even those of halted keys —
+  // so the visibility sets of live keys stay identical to training.
+  if (static_cast<int>(visible_scratch_.size()) < count) {
+    visible_scratch_.resize(count);
+  }
+  position_scratch_.resize(count);
+  for (int i = 0; i < count; ++i) {
+    visible_scratch_[i] = tracker_.ObserveItem(items[i]);
+    position_scratch_[i] = keys_[items[i].key].position_in_key++;
+  }
+  if (count == 1) {
+    // Single-item fast path: the row-vector VecMat pipeline, no GEMM setup.
+    *rows = incremental_.AppendItem(items[0], position_scratch_[0],
+                                    visible_scratch_[0]);
+  } else {
+    incremental_.AppendBatch(items, position_scratch_.data(),
+                             visible_scratch_.data(), count, rows);
+  }
+  num_items_ += count;
+}
+
+OnlineDecision OnlineClassifier::DecideObserved(int key, const float* row) {
   // Pure serving: no op below may record tape nodes, so the fusion step and
   // head evaluations build zero graph (no Detach() cleanup required).
   InferenceMode inference_guard;
   OnlineDecision decision;
-  decision.key = item.key;
+  decision.key = key;
 
-  // The tracker must see every stream item — even those of halted keys —
-  // so the visibility sets of live keys stay identical to training.
-  std::vector<int> visible = tracker_.ObserveItem(item);
-  KeyState& key_state = keys_[item.key];
-  const int position_in_key = key_state.position_in_key++;
-  std::vector<float> embedding_row =
-      incremental_.AppendItem(item, position_in_key, visible);
-  ++num_items_;
-
+  KeyState& key_state = keys_.at(key);  // created by EncodeBatch
   if (key_state.halted) {
     decision.already_halted = true;
     decision.predicted_label = key_state.predicted;
@@ -36,8 +52,9 @@ OnlineDecision OnlineClassifier::Observe(const Item& item) {
     key_state.state = model_.fusion().InitialState();
   }
 
-  const int embed_dim = static_cast<int>(embedding_row.size());
-  Tensor embedding = Tensor::FromData(1, embed_dim, std::move(embedding_row));
+  const int embed = embed_dim();
+  Tensor embedding =
+      Tensor::FromData(1, embed, std::vector<float>(row, row + embed));
   key_state.state = model_.fusion().Step(key_state.state, embedding);
   // No gradients at inference: cut the graph so state does not accumulate.
   key_state.state.DetachInPlace();
@@ -55,6 +72,29 @@ OnlineDecision OnlineClassifier::Observe(const Item& item) {
     decision.confidence = MaxSoftmaxProbability(logits);
   }
   return decision;
+}
+
+OnlineDecision OnlineClassifier::Observe(const Item& item) {
+  InferenceMode inference_guard;
+  std::vector<float> row;
+  EncodeBatch(&item, 1, &row);
+  return DecideObserved(item.key, row.data());
+}
+
+std::vector<OnlineDecision> OnlineClassifier::ObserveBatch(
+    const std::vector<Item>& items) {
+  InferenceMode inference_guard;
+  std::vector<OnlineDecision> decisions;
+  if (items.empty()) return decisions;
+  decisions.reserve(items.size());
+  std::vector<float> rows;
+  EncodeBatch(items.data(), static_cast<int>(items.size()), &rows);
+  const int embed = embed_dim();
+  for (size_t i = 0; i < items.size(); ++i) {
+    decisions.push_back(
+        DecideObserved(items[i].key, rows.data() + i * embed));
+  }
+  return decisions;
 }
 
 int OnlineClassifier::ForceClassify(int key, double* confidence) {

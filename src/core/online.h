@@ -1,5 +1,5 @@
 // Streaming inference engine: classify key-value sequences of a live
-// tangled stream, one item at a time.
+// tangled stream, one item — or one microbatch — at a time.
 //
 // This is the deployment-shaped API of the library (e.g., a router deciding
 // per-flow application types as packets arrive). It combines
@@ -8,10 +8,23 @@
 //  * the frozen fusion / policy / classifier heads of a trained KvecModel.
 // Matches KvecTrainer::Evaluate's deterministic halting (Halt iff
 // π(s) > 0.5); equivalence is covered by integration tests.
+//
+// Observation is split into two stages so callers can microbatch:
+//  * EncodeBatch — correlation tracking + incremental encoding for B
+//    consecutive stream items, driving the encoder's projections through
+//    one GEMM per block instead of B row-vector multiplies. Every item is
+//    encoded (halted keys included: their items shape the visibility sets
+//    of live keys).
+//  * DecideObserved — per item, folds the encoded row into its key's
+//    fusion state and runs the halting policy / classifier.
+// Observe == EncodeBatch of one item + DecideObserved, and ObserveBatch is
+// stream-order equivalent to B Observe calls (pinned by
+// core_batch_equivalence_test.cc). StreamServer interleaves the two stages
+// with its own bookkeeping to keep eviction semantics identical.
 #ifndef KVEC_CORE_ONLINE_H_
 #define KVEC_CORE_ONLINE_H_
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/correlation.h"
@@ -40,6 +53,23 @@ class OnlineClassifier {
   // Feeds the next item of the tangled stream (chronological order).
   OnlineDecision Observe(const Item& item);
 
+  // Batched ingest: equivalent to calling Observe on each item in order
+  // (items must be in stream order), but the encoder runs the whole batch
+  // through blocked GEMMs. Returns one decision per item, in order.
+  std::vector<OnlineDecision> ObserveBatch(const std::vector<Item>& items);
+
+  // ---- Two-stage API (used by StreamServer; see file comment). ----
+
+  // Stage 1: tracks + encodes `count` consecutive stream items, writing
+  // their final-block embedding rows to `rows` ([count, embed_dim],
+  // row-major). Advances per-key positions and the stream clock.
+  void EncodeBatch(const Item* items, int count, std::vector<float>* rows);
+
+  // Stage 2: folds `row` (length embed_dim, from EncodeBatch) into `key`'s
+  // fusion state and evaluates halting, exactly as Observe does. Must be
+  // called once per encoded item, in stream order.
+  OnlineDecision DecideObserved(int key, const float* row);
+
   // Forces classification of a still-open key from its current state
   // (e.g., when the flow terminates). Returns -1 if the key was never seen.
   // When `confidence` is non-null it receives the classifier's max-softmax
@@ -51,6 +81,7 @@ class OnlineClassifier {
 
   bool IsHalted(int key) const;
   int num_items_observed() const { return num_items_; }
+  int embed_dim() const { return model_.config().embed_dim; }
 
  private:
   struct KeyState {
@@ -64,8 +95,11 @@ class OnlineClassifier {
   const KvecModel& model_;
   IncrementalEncoder incremental_;
   CorrelationTracker tracker_;
-  std::map<int, KeyState> keys_;
+  std::unordered_map<int, KeyState> keys_;
   int num_items_ = 0;
+  // EncodeBatch scratch, reused across calls.
+  std::vector<std::vector<int>> visible_scratch_;
+  std::vector<int> position_scratch_;
 };
 
 }  // namespace kvec

@@ -50,22 +50,26 @@ std::vector<StreamEvent> ShardedStreamServer::Observe(const Item& item) {
 std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
     const std::vector<Item>& items) {
   const int num_shards = static_cast<int>(shards_.size());
-  // Route first: per-shard index lists preserve arrival order within a
-  // shard, which is all a shard's serving semantics depend on.
-  std::vector<std::vector<int>> routed(num_shards);
-  for (int i = 0; i < static_cast<int>(items.size()); ++i) {
-    routed[ShardOf(items[i].key)].push_back(i);
+  if (num_shards == 1) {
+    // One shard: no routing, no copies — hand the batch straight through.
+    Shard& shard = *shards_[0];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.server->ObserveBatch(items);
+  }
+  // Route first: per-shard contiguous microbatches preserve arrival order
+  // within a shard, which is all a shard's serving semantics depend on,
+  // and let each shard drive its encoder through one GEMM per block
+  // (StreamServer::ObserveBatch) instead of an item-at-a-time loop.
+  std::vector<std::vector<Item>> routed(num_shards);
+  for (const Item& item : items) {
+    routed[ShardOf(item.key)].push_back(item);
   }
 
   std::vector<std::vector<StreamEvent>> shard_events(num_shards);
   auto serve_shard = [&](int s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (int index : routed[s]) {
-      std::vector<StreamEvent> events = shard.server->Observe(items[index]);
-      shard_events[s].insert(shard_events[s].end(), events.begin(),
-                             events.end());
-    }
+    shard_events[s] = shard.server->ObserveBatch(routed[s]);
   };
   int active_shards = 0;
   int last_active = -1;

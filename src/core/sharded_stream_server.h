@@ -1,20 +1,22 @@
 // Concurrent stream serving: N StreamServer shards behind a key hash.
 //
 // One StreamServer is inherently serial — every item mutates one engine,
-// one open-key map, one stats block — and its engine's correlation tracker
-// scans all open sessions per item, so per-item cost grows with the number
-// of concurrently open keys. ShardedStreamServer partitions the key space
-// across `num_shards` independent shards, each owning a full StreamServer
-// (engine + open-key state + stats) behind a per-shard mutex:
+// one open-key map, one stats block. ShardedStreamServer partitions the
+// key space across `num_shards` independent shards, each owning a full
+// StreamServer (engine + open-key state + stats) behind a per-shard mutex:
 //
 //   * throughput — items of different shards are served in parallel;
-//     ObserveBatch fans a batch out across shards on the global ThreadPool,
-//     and concurrent callers of Observe/ObserveBatch only contend when
-//     their keys hash to the same shard.
-//   * per-item cost — each shard's engine tracks ~1/num_shards of the open
-//     keys, so the correlation scan and the attention visibility sets
-//     shrink proportionally. This makes sharding faster even single
-//     threaded (see bench/micro_stream_shard.cc).
+//     ObserveBatch fans a batch out across shards on the global ThreadPool
+//     (one contiguous microbatch per shard), and concurrent callers of
+//     Observe/ObserveBatch only contend when their keys hash to the same
+//     shard.
+//   * memory bounds — each shard's engine tracks ~1/num_shards of the open
+//     keys, so per-engine caches and visibility sets shrink
+//     proportionally. (Before the correlation tracker grew its inverted
+//     index, this also made sharding faster single-threaded by shrinking
+//     the per-item session scan; with the indexed tracker the scan is gone
+//     and single-core throughput peaks at 1 shard — sharding is now purely
+//     a parallelism and isolation tool. See bench/micro_pipeline.cc.)
 //
 // The trade-off, stated once here and assumed everywhere: cross-shard
 // value correlations are cut. Two keys that hash to different shards never
@@ -62,9 +64,11 @@ class ShardedStreamServer {
   std::vector<StreamEvent> Observe(const Item& item);
 
   // Batched ingest: fans `items` out to their shards via the global
-  // ThreadPool and serves each shard's sub-batch in arrival order under
-  // that shard's mutex. Returned events are grouped by shard (shard 0's
-  // events first), in emission order within a shard. Thread-safe.
+  // ThreadPool, handing each shard its sub-batch as one contiguous
+  // microbatch (StreamServer::ObserveBatch — arrival order within the
+  // shard preserved, encoder projections batched through GEMM). Returned
+  // events are grouped by shard (shard 0's events first), in emission
+  // order within a shard. Thread-safe.
   std::vector<StreamEvent> ObserveBatch(const std::vector<Item>& items);
 
   // Force-classifies all still-open keys on every shard.

@@ -89,14 +89,8 @@ void StreamServer::EvictIdle(std::vector<StreamEvent>* events) {
   }
 }
 
-std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
-  // Belt and braces with OnlineClassifier's own guard: everything the
-  // serving loop does (engine steps, forced closes, rotations) runs tapeless.
-  InferenceMode inference_guard;
-  std::vector<StreamEvent> events;
-  if (window_items_ >= config_.max_window_items) RotateWindow(&events);
-
-  OnlineDecision decision = engine_->Observe(item);
+void StreamServer::Bookkeep(const Item& item, const OnlineDecision& decision,
+                            std::vector<StreamEvent>* events) {
   ++position_;
   ++window_items_;
   ++stats_.items_processed;
@@ -114,7 +108,7 @@ std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
     event.confidence = decision.confidence;
     event.cause = StreamEvent::Cause::kPolicyHalt;
     RecordEvent(event);
-    events.push_back(event);
+    events->push_back(event);
   } else {
     auto [it, inserted] = open_.try_emplace(item.key);
     if (!inserted) by_last_seen_.erase({it->second.last_seen, item.key});
@@ -123,11 +117,51 @@ std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
     if (static_cast<int>(open_.size()) > config_.max_open_keys) {
       // Evict the least recently active key: the front of the recency index.
       ForceClose(by_last_seen_.begin()->second,
-                 StreamEvent::Cause::kCapacityEviction, &events);
+                 StreamEvent::Cause::kCapacityEviction, events);
     }
   }
 
-  if (position_ % config_.idle_check_interval == 0) EvictIdle(&events);
+  if (position_ % config_.idle_check_interval == 0) EvictIdle(events);
+}
+
+std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
+  // Belt and braces with OnlineClassifier's own guard: everything the
+  // serving loop does (engine steps, forced closes, rotations) runs tapeless.
+  InferenceMode inference_guard;
+  std::vector<StreamEvent> events;
+  if (window_items_ >= config_.max_window_items) RotateWindow(&events);
+
+  OnlineDecision decision = engine_->Observe(item);
+  Bookkeep(item, decision, &events);
+  return events;
+}
+
+std::vector<StreamEvent> StreamServer::ObserveBatch(
+    const std::vector<Item>& items) {
+  InferenceMode inference_guard;
+  std::vector<StreamEvent> events;
+  const int total = static_cast<int>(items.size());
+  const int embed = engine_->embed_dim();
+  std::vector<float> rows;
+  int begin = 0;
+  while (begin < total) {
+    if (window_items_ >= config_.max_window_items) RotateWindow(&events);
+    // Encode up to the next rotation boundary in one microbatch. Encoding
+    // ahead of the per-item bookkeeping below is safe: the encoder stage
+    // depends only on the item stream (never on halts or evictions), and
+    // rotations — which do reset the encoder — land exactly on chunk
+    // boundaries because the window clock ticks once per item.
+    const int chunk = std::min(total - begin,
+                               config_.max_window_items - window_items_);
+    engine_->EncodeBatch(items.data() + begin, chunk, &rows);
+    for (int i = 0; i < chunk; ++i) {
+      const Item& item = items[begin + i];
+      OnlineDecision decision = engine_->DecideObserved(
+          item.key, rows.data() + static_cast<size_t>(i) * embed);
+      Bookkeep(item, decision, &events);
+    }
+    begin += chunk;
+  }
   return events;
 }
 

@@ -97,6 +97,18 @@ class StreamServer {
   // Runs entirely under InferenceMode: no autograd tape is built.
   std::vector<StreamEvent> Observe(const Item& item);
 
+  // Batched ingest: processes `items` in stream order and returns the
+  // concatenation of the per-item event lists — the same StreamEvent
+  // sequence (keys, labels, causes, order) that len(items) Observe calls
+  // would have produced (pinned by core_batch_equivalence_test.cc). The
+  // encoder runs each microbatch through blocked GEMMs, splitting only at
+  // window-rotation boundaries; eviction bookkeeping stays per item.
+  // Note the exactness rests on GemmNN and VecMat sharing the same
+  // per-row accumulation kernel; should the GEMM layer ever reorder
+  // per-row accumulation, batched embeddings may drift by ~1 ulp and a
+  // halt probability sitting exactly on the 0.5 threshold could flip.
+  std::vector<StreamEvent> ObserveBatch(const std::vector<Item>& items);
+
   // Serving-API alias for Observe.
   std::vector<StreamEvent> Push(const Item& item) { return Observe(item); }
 
@@ -117,6 +129,10 @@ class StreamServer {
   void RotateWindow(std::vector<StreamEvent>* events);
   void EvictIdle(std::vector<StreamEvent>* events);
   void RecordEvent(const StreamEvent& event);
+  // Post-decision bookkeeping shared by Observe and ObserveBatch: advances
+  // the clocks, emits/halts/evicts for one observed item.
+  void Bookkeep(const Item& item, const OnlineDecision& decision,
+                std::vector<StreamEvent>* events);
 
   using OpenKeyMap = std::map<int, OpenKey>;
 

@@ -280,6 +280,13 @@ void VecMat(const float* x, const float* b, float* y, int k, int n,
   BroadcastRows(x, /*a_rs=*/k, /*a_cs=*/1, b, y, 0, 1, k, n, accumulate);
 }
 
+void AddBiasRows(float* c, const float* bias, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    float* row = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
 float Dot(const float* a, const float* b, int n) {
 #if KVEC_HAVE_SIMD
   VReg acc = VZero();

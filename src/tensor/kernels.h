@@ -43,6 +43,10 @@ void VecMat(const float* x, const float* b, float* y, int k, int n,
 // dot(a, b) over n floats.
 float Dot(const float* a, const float* b, int n);
 
+// C[i, :] += bias for every row i of C[m, n]; the broadcast epilogue of a
+// batched linear (GemmNN on the weight followed by one bias sweep).
+void AddBiasRows(float* c, const float* bias, int m, int n);
+
 }  // namespace kernels
 }  // namespace kvec
 

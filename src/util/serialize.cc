@@ -19,6 +19,7 @@ constexpr int32_t kTagIntVec = 0x4b561006;
 }  // namespace
 
 void BinaryWriter::Append(const void* data, size_t size) {
+  if (size == 0) return;  // empty containers hand over a null data()
   buffer_.append(static_cast<const char*>(data), size);
 }
 
@@ -82,6 +83,7 @@ BinaryReader BinaryReader::FromFile(const std::string& path) {
 void BinaryReader::Consume(void* data, size_t size) {
   KVEC_CHECK(ok_) << "read from a failed reader";
   KVEC_CHECK_LE(position_ + size, buffer_.size()) << "truncated buffer";
+  if (size == 0) return;  // empty containers hand over a null data()
   std::memcpy(data, buffer_.data() + position_, size);
   position_ += size;
 }

@@ -1,0 +1,283 @@
+// Batched-vs-sequential equivalence of the streaming inference pipeline:
+//  * IncrementalEncoder::AppendBatch vs AppendItem (numeric, <= 1e-5),
+//  * OnlineClassifier::ObserveBatch vs Observe (decision-for-decision),
+//  * StreamServer::ObserveBatch vs Observe on tangled streams that span
+//    window-rotation, idle-timeout, and capacity-eviction boundaries
+//    (identical StreamEvent sequences: keys, labels, causes, order),
+//  * ShardedStreamServer::ObserveBatch vs per-item Observe.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/sharded_stream_server.h"
+#include "core/stream_server.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::unique_ptr<KvecModel> model;
+};
+
+Fixture TrainSmallModel(uint64_t seed, int num_heads = 1) {
+  TrafficGeneratorConfig generator_config;
+  generator_config.num_classes = 2;
+  generator_config.concurrency = 3;
+  generator_config.avg_flow_length = 12.0;
+  generator_config.min_flow_length = 6;
+  generator_config.handshake_sharpness = 6.0;
+  TrafficGenerator generator(generator_config);
+  Fixture fixture;
+  fixture.dataset = GenerateDataset(generator, {12, 2, 6}, seed);
+  KvecConfig config = KvecConfig::ForSpec(fixture.dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 16;
+  config.num_blocks = 2;
+  config.num_heads = num_heads;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 3;
+  config.beta = 5e-3f;
+  fixture.model = std::make_unique<KvecModel>(config);
+  KvecTrainer trainer(fixture.model.get());
+  trainer.Train(fixture.dataset.train);
+  return fixture;
+}
+
+// Concatenates every test episode into one long tangled stream with
+// non-colliding keys.
+std::vector<Item> ConcatStream(const Dataset& dataset) {
+  std::vector<Item> stream;
+  int offset = 0;
+  for (const TangledSequence& episode : dataset.test) {
+    for (Item item : episode.items) {
+      item.key += offset;
+      stream.push_back(item);
+    }
+    offset += 100;
+  }
+  return stream;
+}
+
+void ExpectSameEvents(const std::vector<StreamEvent>& sequential,
+                      const std::vector<StreamEvent>& batched) {
+  ASSERT_EQ(sequential.size(), batched.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].key, batched[i].key) << "event " << i;
+    EXPECT_EQ(sequential[i].predicted_label, batched[i].predicted_label)
+        << "event " << i;
+    EXPECT_EQ(sequential[i].cause, batched[i].cause) << "event " << i;
+    EXPECT_EQ(sequential[i].observed_items, batched[i].observed_items)
+        << "event " << i;
+    EXPECT_NEAR(sequential[i].confidence, batched[i].confidence, 1e-4)
+        << "event " << i;
+  }
+}
+
+TEST(BatchEquivalenceTest, AppendBatchMatchesAppendItem) {
+  for (int num_heads : {1, 3}) {
+    Fixture fixture = TrainSmallModel(71, num_heads);
+    const KvrlEncoder& encoder = fixture.model->encoder();
+    const int d = fixture.model->config().embed_dim;
+    const TangledSequence& episode = fixture.dataset.test[0];
+    EpisodeIndex index = EpisodeIndex::Build(episode);
+
+    // Sequential reference.
+    IncrementalEncoder sequential(encoder);
+    CorrelationTracker seq_tracker(fixture.model->config().correlation);
+    std::vector<std::vector<float>> expected;
+    for (size_t t = 0; t < episode.items.size(); ++t) {
+      expected.push_back(sequential.AppendItem(
+          episode.items[t], index.position_in_key[t],
+          seq_tracker.ObserveItem(episode.items[t])));
+    }
+
+    // Batched path, mixed batch sizes (1 exercises the degenerate batch).
+    IncrementalEncoder batched(encoder);
+    CorrelationTracker batch_tracker(fixture.model->config().correlation);
+    const int total = static_cast<int>(episode.items.size());
+    const int sizes[] = {1, 2, 3, 5, 8, 13};
+    int size_index = 0;
+    int begin = 0;
+    while (begin < total) {
+      const int batch =
+          std::min(sizes[size_index++ % 6], total - begin);
+      std::vector<int> positions(batch);
+      std::vector<std::vector<int>> visibles(batch);
+      for (int i = 0; i < batch; ++i) {
+        visibles[i] = batch_tracker.ObserveItem(episode.items[begin + i]);
+        positions[i] = index.position_in_key[begin + i];
+      }
+      std::vector<float> rows;
+      batched.AppendBatch(episode.items.data() + begin, positions.data(),
+                          visibles.data(), batch, &rows);
+      ASSERT_EQ(rows.size(), static_cast<size_t>(batch) * d);
+      for (int i = 0; i < batch; ++i) {
+        for (int c = 0; c < d; ++c) {
+          ASSERT_NEAR(rows[static_cast<size_t>(i) * d + c],
+                      expected[begin + i][c], 1e-5f)
+              << "heads " << num_heads << " item " << begin + i << " col "
+              << c;
+        }
+      }
+      begin += batch;
+    }
+    EXPECT_EQ(batched.num_items(), sequential.num_items());
+  }
+}
+
+TEST(BatchEquivalenceTest, OnlineObserveBatchMatchesObserve) {
+  Fixture fixture = TrainSmallModel(72);
+  std::vector<Item> stream = ConcatStream(fixture.dataset);
+
+  OnlineClassifier sequential(*fixture.model);
+  std::vector<OnlineDecision> expected;
+  for (const Item& item : stream) expected.push_back(sequential.Observe(item));
+
+  OnlineClassifier batched(*fixture.model);
+  std::vector<OnlineDecision> actual;
+  const size_t kBatch = 7;
+  for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
+    const size_t end = std::min(stream.size(), begin + kBatch);
+    std::vector<Item> chunk(stream.begin() + begin, stream.begin() + end);
+    for (const OnlineDecision& decision : batched.ObserveBatch(chunk)) {
+      actual.push_back(decision);
+    }
+  }
+
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].key, actual[i].key) << "item " << i;
+    EXPECT_EQ(expected[i].halted_now, actual[i].halted_now) << "item " << i;
+    EXPECT_EQ(expected[i].already_halted, actual[i].already_halted)
+        << "item " << i;
+    EXPECT_EQ(expected[i].predicted_label, actual[i].predicted_label)
+        << "item " << i;
+    EXPECT_EQ(expected[i].observed_items, actual[i].observed_items)
+        << "item " << i;
+    EXPECT_NEAR(expected[i].halt_probability, actual[i].halt_probability,
+                1e-4)
+        << "item " << i;
+  }
+  EXPECT_EQ(sequential.num_items_observed(), batched.num_items_observed());
+}
+
+// Streams the same items through a sequential and a batched server and
+// asserts identical event sequences and stats under `config`.
+void CheckServerEquivalence(const KvecModel& model,
+                            const StreamServerConfig& config,
+                            const std::vector<Item>& stream,
+                            size_t batch_size) {
+  StreamServer sequential(model, config);
+  std::vector<StreamEvent> expected;
+  for (const Item& item : stream) {
+    for (const StreamEvent& event : sequential.Observe(item)) {
+      expected.push_back(event);
+    }
+  }
+
+  StreamServer batched(model, config);
+  std::vector<StreamEvent> actual;
+  for (size_t begin = 0; begin < stream.size(); begin += batch_size) {
+    const size_t end = std::min(stream.size(), begin + batch_size);
+    std::vector<Item> chunk(stream.begin() + begin, stream.begin() + end);
+    for (const StreamEvent& event : batched.ObserveBatch(chunk)) {
+      actual.push_back(event);
+    }
+  }
+
+  ExpectSameEvents(expected, actual);
+  for (const StreamEvent& event : sequential.Flush()) expected.push_back(event);
+  for (const StreamEvent& event : batched.Flush()) actual.push_back(event);
+  ExpectSameEvents(expected, actual);
+
+  const StreamServerStats& a = sequential.stats();
+  const StreamServerStats& b = batched.stats();
+  EXPECT_EQ(a.items_processed, b.items_processed);
+  EXPECT_EQ(a.sequences_classified, b.sequences_classified);
+  EXPECT_EQ(a.policy_halts, b.policy_halts);
+  EXPECT_EQ(a.idle_timeouts, b.idle_timeouts);
+  EXPECT_EQ(a.capacity_evictions, b.capacity_evictions);
+  EXPECT_EQ(a.rotation_classifications, b.rotation_classifications);
+  EXPECT_EQ(a.windows_started, b.windows_started);
+}
+
+TEST(BatchEquivalenceTest, StreamServerAcrossRotationBoundaries) {
+  Fixture fixture = TrainSmallModel(73);
+  std::vector<Item> stream = ConcatStream(fixture.dataset);
+  StreamServerConfig config;
+  config.max_window_items = 37;  // not a multiple of any batch size below
+  config.idle_timeout = 1 << 20;
+  for (size_t batch_size : {3u, 16u, 64u}) {
+    CheckServerEquivalence(*fixture.model, config, stream, batch_size);
+  }
+}
+
+TEST(BatchEquivalenceTest, StreamServerAcrossIdleAndCapacityBoundaries) {
+  Fixture fixture = TrainSmallModel(74);
+  std::vector<Item> stream = ConcatStream(fixture.dataset);
+  StreamServerConfig config;
+  config.max_window_items = 51;
+  config.idle_timeout = 9;
+  config.idle_check_interval = 4;
+  config.max_open_keys = 2;  // constant capacity pressure
+  for (size_t batch_size : {5u, 32u}) {
+    CheckServerEquivalence(*fixture.model, config, stream, batch_size);
+  }
+}
+
+TEST(BatchEquivalenceTest, ShardedObserveBatchMatchesPerItemObserve) {
+  Fixture fixture = TrainSmallModel(75);
+  std::vector<Item> stream = ConcatStream(fixture.dataset);
+  ShardedStreamServerConfig config;
+  config.num_shards = 4;
+  config.shard.max_window_items = 29;
+  config.shard.idle_timeout = 11;
+  config.shard.idle_check_interval = 2;
+  config.shard.max_open_keys = 2;
+
+  ShardedStreamServer sequential(*fixture.model, config);
+  std::vector<StreamEvent> expected;
+  for (const Item& item : stream) {
+    for (const StreamEvent& event : sequential.Observe(item)) {
+      expected.push_back(event);
+    }
+  }
+
+  ShardedStreamServer batched(*fixture.model, config);
+  std::vector<StreamEvent> actual;
+  const size_t kBatch = 24;
+  for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
+    const size_t end = std::min(stream.size(), begin + kBatch);
+    std::vector<Item> chunk(stream.begin() + begin, stream.begin() + end);
+    for (const StreamEvent& event : batched.ObserveBatch(chunk)) {
+      actual.push_back(event);
+    }
+  }
+
+  // Batched events come grouped by shard; compare per-key verdict streams
+  // (within a key, order and causes must match exactly).
+  auto by_key = [](const std::vector<StreamEvent>& events) {
+    std::map<int, std::vector<StreamEvent>> grouped;
+    for (const StreamEvent& event : events) grouped[event.key].push_back(event);
+    return grouped;
+  };
+  auto expected_by_key = by_key(expected);
+  auto actual_by_key = by_key(actual);
+  ASSERT_EQ(expected_by_key.size(), actual_by_key.size());
+  for (auto& [key, events] : expected_by_key) {
+    ASSERT_TRUE(actual_by_key.count(key)) << "key " << key;
+    ExpectSameEvents(events, actual_by_key[key]);
+  }
+  EXPECT_EQ(sequential.stats().sequences_classified,
+            batched.stats().sequences_classified);
+}
+
+}  // namespace
+}  // namespace kvec
