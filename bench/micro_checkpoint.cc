@@ -1,0 +1,122 @@
+// Serving-state checkpoint micro benchmarks: save/load round-trip latency
+// for a StreamServer carrying 8k open keys (the acceptance workload for
+// the PR-4 checkpoint subsystem) plus the in-memory encode/restore halves
+// separately, so a regression can be blamed on serialisation vs file I/O.
+//
+// The model is tiny and untrained: checkpoint cost is dominated by the
+// serving-layer state (per-key fusion rows, encoder K/V arena, correlation
+// index), which scales with open keys and window items, not with model
+// quality.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stream_server.h"
+
+namespace kvec {
+namespace {
+
+KvecModel MakeModel() {
+  DatasetSpec spec;
+  spec.name = "bench";
+  spec.value_fields = {{"field", 8}};
+  spec.num_classes = 2;
+  spec.max_keys_per_episode = 64;
+  spec.max_sequence_length = 64;
+  spec.max_episode_length = 64;
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  config.embed_dim = 8;
+  config.state_dim = 8;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 8;
+  config.correlation.max_value_correlations = 4;
+  config.correlation.value_correlation_window = 16;
+  return KvecModel(config);
+}
+
+StreamServerConfig UnboundedConfig() {
+  StreamServerConfig config;
+  config.max_window_items = 1 << 30;
+  config.idle_timeout = 1 << 30;
+  config.idle_check_interval = 1 << 30;
+  config.max_open_keys = 1 << 20;
+  return config;
+}
+
+// Feeds fresh keys until `target_open` stay open (the untrained policy
+// halts a fraction of them immediately, so more than target_open items are
+// needed).
+void FillOpenKeys(StreamServer* server, int target_open) {
+  int key = 0;
+  while (server->open_keys() < target_open && key < (1 << 20)) {
+    Item item;
+    item.key = key;
+    item.value = {key % 3};
+    item.time = key;
+    ++key;
+    server->Observe(item);
+  }
+}
+
+void BM_CheckpointEncode(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel();
+  StreamServer server(model, UnboundedConfig());
+  FillOpenKeys(&server, open_keys);
+
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string checkpoint = server.EncodeCheckpoint();
+    bytes = checkpoint.size();
+    benchmark::DoNotOptimize(checkpoint);
+  }
+  state.counters["open_keys"] = server.open_keys();
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_CheckpointEncode)->Arg(1 << 10)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel();
+  StreamServer server(model, UnboundedConfig());
+  FillOpenKeys(&server, open_keys);
+  const std::string bytes = server.EncodeCheckpoint();
+
+  StreamServer target(model, UnboundedConfig());
+  for (auto _ : state) {
+    const bool restored = target.RestoreCheckpoint(bytes);
+    if (!restored) state.SkipWithError("restore failed");
+    benchmark::DoNotOptimize(restored);
+  }
+  state.counters["open_keys"] = server.open_keys();
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(1 << 10)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance metric: full save -> load round trip through a file for
+// an 8k-open-key server.
+void BM_CheckpointFileRoundTrip(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel();
+  StreamServer server(model, UnboundedConfig());
+  FillOpenKeys(&server, open_keys);
+  const std::string path = "/tmp/kvec_bench_checkpoint.ckpt";
+
+  StreamServer target(model, UnboundedConfig());
+  for (auto _ : state) {
+    if (!server.SaveCheckpoint(path) || !target.LoadCheckpoint(path)) {
+      state.SkipWithError("round trip failed");
+    }
+  }
+  std::remove(path.c_str());
+  state.counters["open_keys"] = server.open_keys();
+}
+BENCHMARK(BM_CheckpointFileRoundTrip)->Arg(1 << 10)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kvec

@@ -5,13 +5,17 @@
 #   BENCH_PR3.json — streaming serving path (end-to-end items/sec single-item
 #                    vs microbatched at 1-8 shards on an 8k-key tangled
 #                    stream, and CorrelationTracker::ObserveItem cost at
-#                    1k-100k open keys; the PR-3 pipeline).
+#                    1k-100k open keys; the PR-3 pipeline),
+#   BENCH_PR4.json — serving-state checkpoint/restore (encode, restore, and
+#                    file round-trip latency at 1k/8k open keys; the PR-4
+#                    checkpoint subsystem).
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3]
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4]
 #   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
-#              micro_pipeline)
+#              micro_pipeline / micro_checkpoint)
 #   out_pr1    defaults to ./BENCH_PR1.json
 #   out_pr3    defaults to ./BENCH_PR3.json
+#   out_pr4    defaults to ./BENCH_PR4.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -21,6 +25,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_PR1="${2:-BENCH_PR1.json}"
 OUT_PR3="${3:-BENCH_PR3.json}"
+OUT_PR4="${4:-BENCH_PR4.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -79,3 +84,12 @@ merge_reports "${TMP_DIR}/ops.json" "${TMP_DIR}/encoder.json" "${OUT_PR1}"
   --benchmark_out="${TMP_DIR}/serving.json" --benchmark_out_format=json
 
 merge_reports "${TMP_DIR}/serving.json" "${OUT_PR3}"
+
+# ---- PR 4: serving-state checkpoint/restore ----
+
+"${BUILD_DIR}/micro_checkpoint" \
+  --benchmark_filter='BM_Checkpoint' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/checkpoint.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/checkpoint.json" "${OUT_PR4}"

@@ -1,0 +1,150 @@
+// Scenario: a serving process survives a deploy without dropping state.
+//
+// A router has been classifying flows for a while: sessions are open,
+// encoder K/V caches are warm, the correlation index knows which flows
+// share sessions. A crash or rolling deploy would normally lose all of it
+// — every open flow would restart cold and its accumulated evidence would
+// be gone. The checkpoint subsystem closes that gap:
+//
+//   1. serve the first half of a capture,
+//   2. SaveCheckpoint to disk and destroy the server ("kill -9"),
+//   3. construct a fresh server and LoadCheckpoint,
+//   4. serve the second half.
+//
+// The demo also runs a reference server over the uninterrupted stream and
+// verifies the restarted process emitted the *identical* verdict sequence
+// — the differential-replay invariant pinned by
+// tests/core_checkpoint_replay_test.cc, here across a process-lifetime
+// boundary (the restored server shares no memory with the killed one).
+//
+// Build & run:   ./build/example_snapshot_restart
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stream_server.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+
+int main() {
+  using namespace kvec;
+
+  // Train a small model offline (any trained KvecModel works; the
+  // checkpoint stores serving state, not weights — persist those with
+  // KvecModel::SaveToFile).
+  TrafficGeneratorConfig data_config;
+  data_config.num_classes = 4;
+  data_config.concurrency = 4;
+  data_config.avg_flow_length = 14.0;
+  data_config.min_flow_length = 7;
+  data_config.handshake_sharpness = 5.0;
+  TrafficGenerator generator(data_config);
+  Dataset dataset = GenerateDataset(generator, SplitCounts::FromTotal(40),
+                                    /*seed=*/17);
+  KvecConfig config = KvecConfig::ForSpec(dataset.spec);
+  config.embed_dim = 16;
+  config.state_dim = 24;
+  config.num_blocks = 1;
+  config.epochs = 5;
+  config.beta = 2e-2f;
+  KvecModel model(config);
+  KvecTrainer trainer(&model);
+  trainer.Train(dataset.train);
+
+  // One long tangled capture.
+  std::vector<Item> capture;
+  int offset = 0;
+  for (const TangledSequence& episode : dataset.test) {
+    for (Item item : episode.items) {
+      item.key += offset;
+      capture.push_back(item);
+    }
+    offset += 100;
+  }
+  const size_t cut = capture.size() / 2;
+  std::printf("capture: %zu packets, deploy lands after packet %zu\n\n",
+              capture.size(), cut);
+
+  StreamServerConfig serve_config;
+  serve_config.max_window_items = 96;
+  serve_config.idle_timeout = 64;
+  serve_config.idle_check_interval = 8;
+
+  // Reference: one process serves the whole capture uninterrupted.
+  StreamServer reference(model, serve_config);
+  std::vector<StreamEvent> reference_events;
+  for (const Item& item : capture) {
+    for (const StreamEvent& event : reference.Observe(item)) {
+      reference_events.push_back(event);
+    }
+  }
+  for (const StreamEvent& event : reference.Flush()) {
+    reference_events.push_back(event);
+  }
+
+  // ---- Process generation 1: serve, checkpoint, die. ----
+  const std::string checkpoint_path = "/tmp/kvec_snapshot_restart.ckpt";
+  std::vector<StreamEvent> restarted_events;
+  {
+    auto server = std::make_unique<StreamServer>(model, serve_config);
+    for (size_t i = 0; i < cut; ++i) {
+      for (const StreamEvent& event : server->Observe(capture[i])) {
+        restarted_events.push_back(event);
+      }
+    }
+    if (!server->SaveCheckpoint(checkpoint_path)) {
+      std::printf("checkpoint save failed\n");
+      return 1;
+    }
+    std::printf(
+        "gen-1 process: served %zu packets, %d flows open, checkpoint "
+        "saved -> killed\n",
+        cut, server->open_keys());
+    // server destroyed here: the "process" is gone.
+  }
+
+  // ---- Process generation 2: cold start, warm restore, continue. ----
+  {
+    auto server = std::make_unique<StreamServer>(model, serve_config);
+    if (!server->LoadCheckpoint(checkpoint_path)) {
+      std::printf("checkpoint load failed\n");
+      return 1;
+    }
+    std::printf(
+        "gen-2 process: restored %d open flows (%lld packets of history), "
+        "resuming at packet %zu\n",
+        server->open_keys(),
+        static_cast<long long>(server->stats().items_processed), cut);
+    for (size_t i = cut; i < capture.size(); ++i) {
+      for (const StreamEvent& event : server->Observe(capture[i])) {
+        restarted_events.push_back(event);
+      }
+    }
+    for (const StreamEvent& event : server->Flush()) {
+      restarted_events.push_back(event);
+    }
+  }
+
+  // ---- Differential check: the restart must be invisible downstream. ----
+  bool identical = reference_events.size() == restarted_events.size();
+  for (size_t i = 0; identical && i < reference_events.size(); ++i) {
+    identical = reference_events[i].key == restarted_events[i].key &&
+                reference_events[i].predicted_label ==
+                    restarted_events[i].predicted_label &&
+                reference_events[i].cause == restarted_events[i].cause &&
+                reference_events[i].observed_items ==
+                    restarted_events[i].observed_items;
+  }
+  std::printf(
+      "\nuninterrupted run: %zu verdicts; killed+restarted run: %zu "
+      "verdicts\n",
+      reference_events.size(), restarted_events.size());
+  std::printf(identical
+                  ? "verdict sequences are IDENTICAL — the deploy was "
+                    "invisible to consumers\n"
+                  : "verdict sequences DIVERGED — restore bug\n");
+  std::remove(checkpoint_path.c_str());
+  return identical ? 0 : 1;
+}

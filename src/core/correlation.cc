@@ -89,6 +89,115 @@ std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
   return visible;
 }
 
+void CorrelationTracker::Snapshot(BinaryWriter* writer) const {
+  // Echo the options so a checkpoint can never be restored into a tracker
+  // with different correlation semantics.
+  writer->WriteInt32(options_.use_key_correlation ? 1 : 0);
+  writer->WriteInt32(options_.use_value_correlation ? 1 : 0);
+  writer->WriteInt32(options_.value_correlation_window);
+  writer->WriteInt32(options_.session_field);
+  writer->WriteInt32(options_.max_value_correlations);
+  writer->WriteInt32(next_index_);
+
+  // Key-sorted iteration makes the byte stream canonical (unordered_map
+  // order depends on insertion history, which a restored tracker does not
+  // share).
+  std::vector<int> keys;
+  keys.reserve(key_items_.size());
+  for (const auto& [key, items] : key_items_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->WriteInt32(static_cast<int32_t>(keys.size()));
+  for (int key : keys) {
+    writer->WriteInt32(key);
+    writer->WriteIntVector(key_items_.at(key));
+  }
+
+  keys.clear();
+  for (const auto& [key, session] : open_sessions_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->WriteInt32(static_cast<int32_t>(keys.size()));
+  for (int key : keys) {
+    const OpenSession& session = open_sessions_.at(key);
+    writer->WriteInt32(key);
+    writer->WriteInt32(session.session_value);
+    writer->WriteInt32(session.last_index);
+    writer->WriteIntVector(session.item_indices);
+  }
+}
+
+bool CorrelationTracker::Restore(BinaryReader* reader) {
+  // One tagged int32 costs 8 bytes: bounds every count below so a corrupted
+  // prefix cannot spin a long loop over an already-failed reader.
+  const auto plausible_count = [reader](int32_t count) {
+    return count >= 0 && static_cast<size_t>(count) <= reader->remaining() / 8;
+  };
+
+  const bool use_key = reader->ReadInt32() != 0;
+  const bool use_value = reader->ReadInt32() != 0;
+  const int window = reader->ReadInt32();
+  const int session_field = reader->ReadInt32();
+  const int max_correlations = reader->ReadInt32();
+  if (!reader->ok() || use_key != options_.use_key_correlation ||
+      use_value != options_.use_value_correlation ||
+      window != options_.value_correlation_window ||
+      session_field != options_.session_field ||
+      max_correlations != options_.max_value_correlations) {
+    return false;
+  }
+
+  const int next_index = reader->ReadInt32();
+  if (!reader->ok() || next_index < 0) return false;
+
+  std::unordered_map<int, std::vector<int>> key_items;
+  const int32_t num_keys = reader->ReadInt32();
+  if (!reader->ok() || !plausible_count(num_keys)) return false;
+  key_items.reserve(num_keys);
+  for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    std::vector<int> items = reader->ReadIntVector();
+    for (int index : items) {
+      if (index < 0 || index >= next_index) return false;
+    }
+    if (!key_items.emplace(key, std::move(items)).second) return false;
+  }
+
+  std::unordered_map<int, OpenSession> open_sessions;
+  std::unordered_map<int, std::map<int, int>> by_value;
+  const int32_t num_sessions = reader->ReadInt32();
+  if (!reader->ok() || !plausible_count(num_sessions)) return false;
+  open_sessions.reserve(num_sessions);
+  for (int32_t i = 0; i < num_sessions && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    OpenSession session;
+    session.session_value = reader->ReadInt32();
+    session.last_index = reader->ReadInt32();
+    session.item_indices = reader->ReadIntVector();
+    if (!reader->ok()) return false;
+    if (session.last_index < -1 || session.last_index >= next_index) {
+      return false;
+    }
+    for (int index : session.item_indices) {
+      if (index < 0 || index >= next_index) return false;
+    }
+    // Rebuild the inverted index: one recency entry per indexed session.
+    if (session.last_index >= 0) {
+      if (!by_value[session.session_value]
+               .emplace(session.last_index, key)
+               .second) {
+        return false;  // two sessions cannot share a stream position
+      }
+    }
+    if (!open_sessions.emplace(key, std::move(session)).second) return false;
+  }
+  if (!reader->ok()) return false;
+
+  next_index_ = next_index;
+  key_items_ = std::move(key_items);
+  open_sessions_ = std::move(open_sessions);
+  by_value_ = std::move(by_value);
+  return true;
+}
+
 EpisodeMask BuildEpisodeMask(const TangledSequence& episode,
                              const CorrelationOptions& options) {
   const int total = static_cast<int>(episode.items.size());

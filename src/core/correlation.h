@@ -36,6 +36,7 @@
 #include "core/config.h"
 #include "data/types.h"
 #include "tensor/tensor.h"
+#include "util/serialize.h"
 
 namespace kvec {
 
@@ -52,6 +53,15 @@ class CorrelationTracker {
   std::vector<int> ObserveItem(const Item& item);
 
   int num_observed() const { return next_index_; }
+
+  // Serving-state checkpointing. Snapshot writes a canonical (key-sorted)
+  // byte stream; Restore parses it into a tracker constructed with the
+  // same options and rebuilds the inverted index from the open sessions.
+  // Restore fails closed: on truncated/corrupt bytes, an options mismatch,
+  // or structurally impossible indices it returns false and leaves *this
+  // untouched.
+  void Snapshot(BinaryWriter* writer) const;
+  bool Restore(BinaryReader* reader);
 
  private:
   struct OpenSession {

@@ -19,6 +19,7 @@
 #include "nn/attention.h"
 #include "nn/module.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace kvec {
 
@@ -91,6 +92,19 @@ class IncrementalEncoder {
                    std::vector<float>* rows);
 
   int num_items() const { return num_items_; }
+
+  // Serving-state checkpointing. Snapshot re-serialises the arena as one
+  // [num_items, head_dim] float vector per (block, head, K/V) panel — the
+  // SoA layout is an implementation detail the byte stream does not
+  // depend on. Restore validates the geometry against the frozen encoder,
+  // stages every panel, and only then touches the arena, so a failed
+  // restore (truncation, corruption, encoder mismatch) returns false with
+  // *this untouched.
+  // When `expected_items` is non-negative the stream's item count must
+  // match it (callers cross-check against their own clock so a checkpoint
+  // with internally inconsistent sections is rejected before commit).
+  void Snapshot(BinaryWriter* writer) const;
+  bool Restore(BinaryReader* reader, int expected_items = -1);
 
  private:
   // A BufferPool-backed grow-only scratch buffer: the q/k/v/attended/hidden

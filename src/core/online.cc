@@ -1,5 +1,8 @@
 #include "core/online.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -114,6 +117,122 @@ int OnlineClassifier::ForceClassify(int key, double* confidence) {
     if (confidence != nullptr) *confidence = MaxSoftmaxProbability(logits);
   }
   return key_state.predicted;
+}
+
+namespace {
+
+void WriteStateTensor(BinaryWriter* writer, const Tensor& tensor) {
+  writer->WriteInt32(tensor.rows());
+  writer->WriteInt32(tensor.cols());
+  writer->WriteFloatVector(tensor.data());
+}
+
+// Fusion states are always single rows; anything else is corruption.
+bool ReadStateTensor(BinaryReader* reader, int expected_cols, Tensor* out) {
+  const int rows = reader->ReadInt32();
+  const int cols = reader->ReadInt32();
+  std::vector<float> data = reader->ReadFloatVector();
+  if (!reader->ok() || rows != 1 || cols != expected_cols ||
+      data.size() != static_cast<size_t>(expected_cols)) {
+    return false;
+  }
+  *out = Tensor::FromData(rows, cols, std::move(data));
+  return true;
+}
+
+}  // namespace
+
+void OnlineClassifier::Snapshot(BinaryWriter* writer) const {
+  writer->WriteInt32(num_items_);
+  tracker_.Snapshot(writer);
+
+  std::vector<int> sorted_keys;
+  sorted_keys.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) sorted_keys.push_back(key);
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  writer->WriteInt32(static_cast<int32_t>(sorted_keys.size()));
+  for (int key : sorted_keys) {
+    const KeyState& state = keys_.at(key);
+    writer->WriteInt32(key);
+    writer->WriteInt32(state.halted ? 1 : 0);
+    writer->WriteInt32(state.observed);
+    writer->WriteInt32(state.position_in_key);
+    writer->WriteInt32(state.predicted);
+    writer->WriteInt32(state.state.count);
+    writer->WriteInt32(state.state.hidden.defined() ? 1 : 0);
+    if (state.state.hidden.defined()) {
+      WriteStateTensor(writer, state.state.hidden);
+    }
+    writer->WriteInt32(state.state.cell.defined() ? 1 : 0);
+    if (state.state.cell.defined()) {
+      WriteStateTensor(writer, state.state.cell);
+    }
+  }
+
+  // The encoder arena goes last so Restore can stage everything else in
+  // temporaries and only mutate members once all sections parsed.
+  incremental_.Snapshot(writer);
+}
+
+bool OnlineClassifier::Restore(BinaryReader* reader) {
+  const KvecConfig& config = model_.config();
+  const int hidden_dim = model_.fusion().output_dim();
+  const int cell_dim = config.fusion == KvecConfig::FusionKind::kLstm
+                           ? config.state_dim
+                           : config.embed_dim;
+
+  const int num_items = reader->ReadInt32();
+  if (!reader->ok() || num_items < 0) return false;
+
+  CorrelationTracker tracker(config.correlation);
+  if (!tracker.Restore(reader)) return false;
+  if (tracker.num_observed() != num_items) return false;
+
+  std::unordered_map<int, KeyState> keys;
+  const int32_t num_keys = reader->ReadInt32();
+  if (!reader->ok() || num_keys < 0 ||
+      static_cast<size_t>(num_keys) > reader->remaining() / 8) {
+    return false;
+  }
+  keys.reserve(num_keys);
+  for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    KeyState state;
+    state.halted = reader->ReadInt32() != 0;
+    state.observed = reader->ReadInt32();
+    state.position_in_key = reader->ReadInt32();
+    state.predicted = reader->ReadInt32();
+    state.state.count = reader->ReadInt32();
+    if (!reader->ok() || state.observed < 0 ||
+        state.position_in_key < state.observed || state.state.count < 0 ||
+        state.predicted < -1 || state.predicted >= config.spec.num_classes) {
+      return false;
+    }
+    if (reader->ReadInt32() != 0) {
+      if (!ReadStateTensor(reader, hidden_dim, &state.state.hidden)) {
+        return false;
+      }
+    }
+    if (reader->ReadInt32() != 0) {
+      if (!ReadStateTensor(reader, cell_dim, &state.state.cell)) return false;
+    }
+    // ForceClassify and Step both dereference the hidden state of any key
+    // with observed items; a checkpoint without one is corrupt.
+    if (state.observed > 0 && !state.state.hidden.defined()) return false;
+    if (!keys.emplace(key, std::move(state)).second) return false;
+  }
+  if (!reader->ok()) return false;
+
+  // The encoder is the only member mutated before the commit point below,
+  // and its Restore is itself all-or-nothing (with the item count
+  // cross-checked against this section's clock), so a failure anywhere
+  // leaves *this untouched.
+  if (!incremental_.Restore(reader, num_items)) return false;
+
+  num_items_ = num_items;
+  tracker_ = std::move(tracker);
+  keys_ = std::move(keys);
+  return true;
 }
 
 int OnlineClassifier::ObservedItems(int key) const {

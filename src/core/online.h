@@ -83,6 +83,15 @@ class OnlineClassifier {
   int num_items_observed() const { return num_items_; }
   int embed_dim() const { return model_.config().embed_dim; }
 
+  // Serving-state checkpointing: the stream clock, the correlation
+  // tracker, the encoder's K/V caches, and every per-key fusion state.
+  // Restore must be given an engine built over the same model (dimensions
+  // and correlation options are validated; weights are the caller's
+  // responsibility, exactly as with KvecModel::LoadFromFile). Fails closed:
+  // returns false with *this untouched on corrupt or mismatched bytes.
+  void Snapshot(BinaryWriter* writer) const;
+  bool Restore(BinaryReader* reader);
+
  private:
   struct KeyState {
     FusionState state;

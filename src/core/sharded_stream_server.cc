@@ -26,7 +26,8 @@ uint32_t MixKey(uint32_t key) {
 }  // namespace
 
 ShardedStreamServer::ShardedStreamServer(
-    const KvecModel& model, const ShardedStreamServerConfig& config) {
+    const KvecModel& model, const ShardedStreamServerConfig& config)
+    : model_(model), config_(config) {
   KVEC_CHECK_GT(config.num_shards, 0);
   shards_.reserve(config.num_shards);
   for (int s = 0; s < config.num_shards; ++s) {
@@ -144,6 +145,79 @@ StreamServerStats ShardedStreamServer::shard_stats(int shard) const {
   KVEC_CHECK_LT(shard, static_cast<int>(shards_.size()));
   std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
   return shards_[shard]->server->stats();
+}
+
+Checkpoint ShardedStreamServer::BuildCheckpoint() const {
+  Checkpoint checkpoint;
+  {
+    BinaryWriter manifest;
+    manifest.WriteInt32(static_cast<int32_t>(shards_.size()));
+    checkpoint.sections.push_back(
+        {kCheckpointSectionShardManifest, manifest.buffer()});
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    BinaryWriter writer;
+    writer.WriteInt32(static_cast<int32_t>(s));
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    shards_[s]->server->Snapshot(&writer);
+    checkpoint.sections.push_back({kCheckpointSectionShard, writer.buffer()});
+  }
+  return checkpoint;
+}
+
+bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
+  const CheckpointSection* manifest =
+      checkpoint.Find(kCheckpointSectionShardManifest);
+  if (manifest == nullptr) return false;
+  BinaryReader manifest_reader(manifest->payload);
+  const int32_t num_shards = manifest_reader.ReadInt32();
+  if (!manifest_reader.ok() ||
+      num_shards != static_cast<int32_t>(shards_.size())) {
+    return false;
+  }
+
+  // Stage every shard before swapping any in.
+  std::vector<std::unique_ptr<StreamServer>> staged(shards_.size());
+  for (const CheckpointSection& section : checkpoint.sections) {
+    if (section.id != kCheckpointSectionShard) continue;
+    BinaryReader reader(section.payload);
+    const int32_t shard = reader.ReadInt32();
+    if (!reader.ok() || shard < 0 || shard >= num_shards ||
+        staged[shard] != nullptr) {
+      return false;
+    }
+    staged[shard] = std::make_unique<StreamServer>(model_, config_.shard);
+    if (!staged[shard]->Restore(&reader)) return false;
+  }
+  for (const auto& server : staged) {
+    if (server == nullptr) return false;  // a shard section is missing
+  }
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    shards_[s]->server = std::move(staged[s]);
+  }
+  return true;
+}
+
+std::string ShardedStreamServer::EncodeCheckpoint() const {
+  return CheckpointEncode(BuildCheckpoint());
+}
+
+bool ShardedStreamServer::RestoreCheckpoint(const std::string& bytes) {
+  Checkpoint checkpoint;
+  return CheckpointDecode(bytes, &checkpoint) &&
+         RestoreFromCheckpoint(checkpoint);
+}
+
+bool ShardedStreamServer::SaveCheckpoint(const std::string& path) const {
+  return CheckpointSave(path, BuildCheckpoint());
+}
+
+bool ShardedStreamServer::LoadCheckpoint(const std::string& path) {
+  Checkpoint checkpoint;
+  return CheckpointLoad(path, &checkpoint) &&
+         RestoreFromCheckpoint(checkpoint);
 }
 
 int ShardedStreamServer::open_keys() const {

@@ -36,6 +36,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/stream_server.h"
@@ -84,12 +85,35 @@ class ShardedStreamServer {
   int open_keys() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  // ---- Checkpoint / warm restart (docs/SERVING.md). ----
+  //
+  // The checkpoint is a manifest section (shard count — restore fails on a
+  // mismatch, since the key hash routes by shard count) plus one section
+  // per shard holding that shard's full StreamServer snapshot. Each shard
+  // is snapshotted under its own mutex; for a cross-shard-consistent
+  // checkpoint, quiesce ingest first (concurrent Observe calls would land
+  // in some shards' snapshots and not others).
+  //
+  // Restore stages every shard in a fresh StreamServer and swaps all of
+  // them in only when the whole checkpoint parsed — a corrupt byte in any
+  // shard leaves the server untouched.
+  std::string EncodeCheckpoint() const;
+  bool RestoreCheckpoint(const std::string& bytes);
+  bool SaveCheckpoint(const std::string& path) const;
+  bool LoadCheckpoint(const std::string& path);
+
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::unique_ptr<StreamServer> server;  // guarded by mutex
   };
 
+  // Shared bodies of the four checkpoint entry points.
+  Checkpoint BuildCheckpoint() const;
+  bool RestoreFromCheckpoint(const Checkpoint& checkpoint);
+
+  const KvecModel& model_;
+  ShardedStreamServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

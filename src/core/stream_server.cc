@@ -165,6 +165,151 @@ std::vector<StreamEvent> StreamServer::ObserveBatch(
   return events;
 }
 
+void StreamServer::Snapshot(BinaryWriter* writer) const {
+  writer->WriteInt32(config_.max_window_items);
+  writer->WriteInt32(config_.idle_timeout);
+  writer->WriteInt32(config_.idle_check_interval);
+  writer->WriteInt32(config_.max_open_keys);
+
+  writer->WriteInt64(position_);
+  writer->WriteInt32(window_items_);
+
+  writer->WriteInt64(stats_.items_processed);
+  writer->WriteInt64(stats_.sequences_classified);
+  writer->WriteInt64(stats_.policy_halts);
+  writer->WriteInt64(stats_.idle_timeouts);
+  writer->WriteInt64(stats_.capacity_evictions);
+  writer->WriteInt64(stats_.rotation_classifications);
+  writer->WriteInt64(stats_.flush_classifications);
+  writer->WriteInt32(stats_.windows_started);
+  writer->WriteInt32(static_cast<int32_t>(stats_.class_counts.size()));
+  for (int64_t count : stats_.class_counts) writer->WriteInt64(count);
+
+  writer->WriteInt32(static_cast<int32_t>(open_.size()));
+  for (const auto& [key, state] : open_) {  // std::map: canonical order
+    writer->WriteInt32(key);
+    writer->WriteInt64(state.last_seen);
+  }
+
+  // Engine last: Restore stages everything above in temporaries and only
+  // builds the (fresh) engine once the bookkeeping sections parsed.
+  engine_->Snapshot(writer);
+}
+
+bool StreamServer::Restore(BinaryReader* reader) {
+  StreamServerConfig config;
+  config.max_window_items = reader->ReadInt32();
+  config.idle_timeout = reader->ReadInt32();
+  config.idle_check_interval = reader->ReadInt32();
+  config.max_open_keys = reader->ReadInt32();
+  if (!reader->ok() || config.max_window_items <= 0 ||
+      config.idle_timeout <= 0 || config.idle_check_interval <= 0 ||
+      config.max_open_keys <= 0) {
+    return false;
+  }
+
+  const int64_t position = reader->ReadInt64();
+  const int window_items = reader->ReadInt32();
+  if (!reader->ok() || position < 0 || window_items < 0 ||
+      window_items > config.max_window_items) {
+    return false;
+  }
+
+  StreamServerStats stats;
+  stats.items_processed = reader->ReadInt64();
+  stats.sequences_classified = reader->ReadInt64();
+  stats.policy_halts = reader->ReadInt64();
+  stats.idle_timeouts = reader->ReadInt64();
+  stats.capacity_evictions = reader->ReadInt64();
+  stats.rotation_classifications = reader->ReadInt64();
+  stats.flush_classifications = reader->ReadInt64();
+  stats.windows_started = reader->ReadInt32();
+  const int32_t num_classes = reader->ReadInt32();
+  if (!reader->ok() ||
+      num_classes != model_.config().spec.num_classes) {
+    return false;
+  }
+  stats.class_counts.resize(num_classes);
+  for (int32_t c = 0; c < num_classes; ++c) {
+    stats.class_counts[c] = reader->ReadInt64();
+  }
+
+  OpenKeyMap open;
+  std::set<std::pair<int64_t, int>> by_last_seen;
+  const int32_t num_open = reader->ReadInt32();
+  if (!reader->ok() || num_open < 0 ||
+      static_cast<size_t>(num_open) > reader->remaining() / 8 ||
+      num_open > config.max_open_keys) {
+    return false;
+  }
+  for (int32_t i = 0; i < num_open && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    OpenKey state;
+    state.last_seen = reader->ReadInt64();
+    if (!reader->ok() || state.last_seen < 0 || state.last_seen > position) {
+      return false;
+    }
+    if (!open.emplace(key, state).second) return false;
+    by_last_seen.insert({state.last_seen, key});
+  }
+  if (!reader->ok()) return false;
+
+  // A fresh engine keeps the current one intact if the engine section is
+  // the part that turns out to be corrupt.
+  auto engine = std::make_unique<OnlineClassifier>(model_);
+  if (!engine->Restore(reader)) return false;
+  // The snapshot is the last thing in its section: bytes after it are
+  // corruption the container framing cannot see. Checked before the
+  // commit below so a tainted checkpoint leaves *this untouched.
+  if (!reader->AtEnd()) return false;
+
+  config_ = config;
+  position_ = position;
+  window_items_ = window_items;
+  stats_ = std::move(stats);
+  open_ = std::move(open);
+  by_last_seen_ = std::move(by_last_seen);
+  engine_ = std::move(engine);
+  return true;
+}
+
+Checkpoint StreamServer::BuildCheckpoint() const {
+  Checkpoint checkpoint;
+  BinaryWriter writer;
+  Snapshot(&writer);
+  checkpoint.sections.push_back(
+      {kCheckpointSectionStreamServer, writer.buffer()});
+  return checkpoint;
+}
+
+bool StreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
+  const CheckpointSection* section =
+      checkpoint.Find(kCheckpointSectionStreamServer);
+  if (section == nullptr) return false;
+  BinaryReader reader(section->payload);
+  return Restore(&reader);
+}
+
+std::string StreamServer::EncodeCheckpoint() const {
+  return CheckpointEncode(BuildCheckpoint());
+}
+
+bool StreamServer::RestoreCheckpoint(const std::string& bytes) {
+  Checkpoint checkpoint;
+  return CheckpointDecode(bytes, &checkpoint) &&
+         RestoreFromCheckpoint(checkpoint);
+}
+
+bool StreamServer::SaveCheckpoint(const std::string& path) const {
+  return CheckpointSave(path, BuildCheckpoint());
+}
+
+bool StreamServer::LoadCheckpoint(const std::string& path) {
+  Checkpoint checkpoint;
+  return CheckpointLoad(path, &checkpoint) &&
+         RestoreFromCheckpoint(checkpoint);
+}
+
 std::vector<StreamEvent> StreamServer::Flush() {
   std::vector<StreamEvent> events;
   std::vector<int> keys;

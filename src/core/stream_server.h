@@ -32,12 +32,22 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/online.h"
+#include "util/serialize.h"
 
 namespace kvec {
+
+// Checkpoint-container section ids used by the serving stack (see the
+// container format in util/serialize.h). Stable across format versions:
+// new state gets a new id, changed payload layout bumps the container
+// version.
+inline constexpr int32_t kCheckpointSectionStreamServer = 1;
+inline constexpr int32_t kCheckpointSectionShardManifest = 2;
+inline constexpr int32_t kCheckpointSectionShard = 3;
 
 struct StreamServerConfig {
   // Engine rebuild period, in stream items. Should be much larger than the
@@ -118,6 +128,31 @@ class StreamServer {
   const StreamServerStats& stats() const { return stats_; }
   int open_keys() const { return static_cast<int>(open_.size()); }
 
+  // ---- Checkpoint / warm restart (docs/SERVING.md). ----
+  //
+  // Snapshot captures everything the serving loop owns — config, stream
+  // clocks, stats, the open-key map — plus the engine (correlation index,
+  // encoder K/V arena, per-key fusion states). Restoring into a server
+  // built over the same model yields a server whose subsequent StreamEvent
+  // sequence is identical to an uninterrupted run on the same input
+  // (pinned by tests/core_checkpoint_replay_test.cc).
+  //
+  // Restore fails closed: on truncated, corrupted, or model-mismatched
+  // bytes it returns false and the server is untouched (pinned by the
+  // corruption-fuzz test). The recency index is rebuilt from the open map
+  // rather than serialized. The snapshot must be the reader's final
+  // content (it always is in a checkpoint section); trailing bytes are
+  // treated as corruption.
+  void Snapshot(BinaryWriter* writer) const;
+  bool Restore(BinaryReader* reader);
+
+  // Convenience wrappers around the checkpoint container: one
+  // kCheckpointSectionStreamServer section framed with magic + version.
+  std::string EncodeCheckpoint() const;
+  bool RestoreCheckpoint(const std::string& bytes);
+  bool SaveCheckpoint(const std::string& path) const;
+  bool LoadCheckpoint(const std::string& path);
+
  private:
   struct OpenKey {
     int64_t last_seen = 0;  // global stream position of the latest item
@@ -135,6 +170,10 @@ class StreamServer {
                 std::vector<StreamEvent>* events);
 
   using OpenKeyMap = std::map<int, OpenKey>;
+
+  // Shared bodies of the four checkpoint entry points.
+  Checkpoint BuildCheckpoint() const;
+  bool RestoreFromCheckpoint(const Checkpoint& checkpoint);
 
   // Remove a key from open_ and by_last_seen_ together — the only place
   // the two structures' mirror invariant is maintained on the close path.

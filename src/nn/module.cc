@@ -37,13 +37,23 @@ bool Module::LoadParameters(BinaryReader* reader) {
   std::vector<Tensor> params = Parameters();
   int32_t count = reader->ReadInt32();
   if (count != static_cast<int32_t>(params.size())) return false;
+  // Stage every tensor before committing any: a truncated or mismatched
+  // stream must leave the module's parameters untouched, not half-loaded.
+  std::vector<std::vector<float>> staged;
+  staged.reserve(params.size());
   for (Tensor& param : params) {
     int32_t rows = reader->ReadInt32();
     int32_t cols = reader->ReadInt32();
-    if (rows != param.rows() || cols != param.cols()) return false;
+    if (!reader->ok() || rows != param.rows() || cols != param.cols()) {
+      return false;
+    }
     std::vector<float> values = reader->ReadFloatVector();
     if (values.size() != param.data().size()) return false;
-    param.data() = std::move(values);
+    staged.push_back(std::move(values));
+  }
+  if (!reader->ok()) return false;
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = std::move(staged[i]);
   }
   return true;
 }

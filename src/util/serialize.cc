@@ -3,8 +3,6 @@
 #include <cstring>
 #include <fstream>
 
-#include "util/check.h"
-
 namespace kvec {
 namespace {
 
@@ -46,10 +44,14 @@ void BinaryWriter::WriteString(const std::string& value) {
 }
 
 void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteFloats(values.data(), values.size());
+}
+
+void BinaryWriter::WriteFloats(const float* values, size_t count) {
   Append(&kTagFloatVec, sizeof(kTagFloatVec));
-  int64_t size = static_cast<int64_t>(values.size());
+  int64_t size = static_cast<int64_t>(count);
   Append(&size, sizeof(size));
-  Append(values.data(), values.size() * sizeof(float));
+  Append(values, count * sizeof(float));
 }
 
 void BinaryWriter::WriteIntVector(const std::vector<int>& values) {
@@ -80,75 +82,203 @@ BinaryReader BinaryReader::FromFile(const std::string& path) {
   return BinaryReader(std::move(contents));
 }
 
-void BinaryReader::Consume(void* data, size_t size) {
-  KVEC_CHECK(ok_) << "read from a failed reader";
-  KVEC_CHECK_LE(position_ + size, buffer_.size()) << "truncated buffer";
-  if (size == 0) return;  // empty containers hand over a null data()
+bool BinaryReader::Consume(void* data, size_t size) {
+  if (!ok_) return false;
+  if (size > buffer_.size() - position_) {
+    Fail();
+    return false;
+  }
+  if (size == 0) return true;  // empty containers hand over a null data()
   std::memcpy(data, buffer_.data() + position_, size);
   position_ += size;
+  return true;
+}
+
+bool BinaryReader::ConsumeTag(int32_t expected) {
+  int32_t tag = 0;
+  if (!Consume(&tag, sizeof(tag))) return false;
+  if (tag != expected) {
+    Fail();
+    return false;
+  }
+  return true;
+}
+
+bool BinaryReader::ConsumeSize(size_t elem_size, int64_t* size) {
+  if (!Consume(size, sizeof(*size))) return false;
+  if (*size < 0 ||
+      static_cast<uint64_t>(*size) > remaining() / elem_size) {
+    // A corrupted prefix must fail before it drives an allocation.
+    Fail();
+    return false;
+  }
+  return true;
 }
 
 int32_t BinaryReader::ReadInt32() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagInt32) << "type mismatch reading int32";
+  if (!ConsumeTag(kTagInt32)) return 0;
   int32_t value = 0;
   Consume(&value, sizeof(value));
-  return value;
+  return ok_ ? value : 0;
 }
 
 int64_t BinaryReader::ReadInt64() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagInt64) << "type mismatch reading int64";
+  if (!ConsumeTag(kTagInt64)) return 0;
   int64_t value = 0;
   Consume(&value, sizeof(value));
-  return value;
+  return ok_ ? value : 0;
 }
 
 float BinaryReader::ReadFloat() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagFloat) << "type mismatch reading float";
-  float value = 0;
+  if (!ConsumeTag(kTagFloat)) return 0.0f;
+  float value = 0.0f;
   Consume(&value, sizeof(value));
-  return value;
+  return ok_ ? value : 0.0f;
 }
 
 std::string BinaryReader::ReadString() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagString) << "type mismatch reading string";
+  if (!ConsumeTag(kTagString)) return std::string();
   int64_t size = 0;
-  Consume(&size, sizeof(size));
-  KVEC_CHECK_GE(size, 0);
+  if (!ConsumeSize(1, &size)) return std::string();
   std::string value(static_cast<size_t>(size), '\0');
-  Consume(value.data(), value.size());
+  if (!Consume(value.data(), value.size())) return std::string();
   return value;
 }
 
 std::vector<float> BinaryReader::ReadFloatVector() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagFloatVec) << "type mismatch reading float vector";
+  if (!ConsumeTag(kTagFloatVec)) return {};
   int64_t size = 0;
-  Consume(&size, sizeof(size));
-  KVEC_CHECK_GE(size, 0);
+  if (!ConsumeSize(sizeof(float), &size)) return {};
   std::vector<float> values(static_cast<size_t>(size));
-  Consume(values.data(), values.size() * sizeof(float));
+  if (!Consume(values.data(), values.size() * sizeof(float))) return {};
   return values;
 }
 
 std::vector<int> BinaryReader::ReadIntVector() {
-  int32_t tag = 0;
-  Consume(&tag, sizeof(tag));
-  KVEC_CHECK_EQ(tag, kTagIntVec) << "type mismatch reading int vector";
+  if (!ConsumeTag(kTagIntVec)) return {};
   int64_t size = 0;
-  Consume(&size, sizeof(size));
-  KVEC_CHECK_GE(size, 0);
+  if (!ConsumeSize(sizeof(int), &size)) return {};
   std::vector<int> values(static_cast<size_t>(size));
-  Consume(values.data(), values.size() * sizeof(int));
+  if (!Consume(values.data(), values.size() * sizeof(int))) return {};
   return values;
+}
+
+// ---- Checkpoint container ------------------------------------------------
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+// Raw little-endian frame parser with explicit bounds checks (the frame
+// deliberately avoids the tagged value layer so its layout is fixed and
+// documented in serialize.h).
+class FrameReader {
+ public:
+  explicit FrameReader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool Read(void* data, size_t size) {
+    if (size > bytes_.size() - position_) return false;
+    std::memcpy(data, bytes_.data() + position_, size);
+    position_ += size;
+    return true;
+  }
+
+  bool ReadPayload(int64_t size, std::string* out) {
+    if (size < 0 ||
+        static_cast<uint64_t>(size) > bytes_.size() - position_) {
+      return false;
+    }
+    out->assign(bytes_.data() + position_, static_cast<size_t>(size));
+    position_ += static_cast<size_t>(size);
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  const std::string& bytes_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+const CheckpointSection* Checkpoint::Find(int32_t id) const {
+  for (const CheckpointSection& section : sections) {
+    if (section.id == id) return &section;
+  }
+  return nullptr;
+}
+
+std::string CheckpointEncode(const Checkpoint& checkpoint) {
+  std::string out;
+  AppendRaw(&out, &kCheckpointMagic, sizeof(kCheckpointMagic));
+  AppendRaw(&out, &checkpoint.version, sizeof(checkpoint.version));
+  const int32_t count = static_cast<int32_t>(checkpoint.sections.size());
+  AppendRaw(&out, &count, sizeof(count));
+  for (const CheckpointSection& section : checkpoint.sections) {
+    AppendRaw(&out, &section.id, sizeof(section.id));
+    const int64_t length = static_cast<int64_t>(section.payload.size());
+    AppendRaw(&out, &length, sizeof(length));
+    out.append(section.payload);
+  }
+  return out;
+}
+
+bool CheckpointDecode(const std::string& bytes, Checkpoint* out) {
+  FrameReader frame(bytes);
+  uint32_t magic = 0;
+  if (!frame.Read(&magic, sizeof(magic)) || magic != kCheckpointMagic) {
+    return false;
+  }
+  int32_t version = 0;
+  if (!frame.Read(&version, sizeof(version))) return false;
+  // Future versions are unreadable by design: the writer bumps the version
+  // exactly when an existing payload layout changes.
+  if (version < 1 || version > kCheckpointFormatVersion) return false;
+  int32_t count = 0;
+  if (!frame.Read(&count, sizeof(count))) return false;
+  // Each section costs at least its 12-byte header: a corrupted count
+  // cannot demand more sections than the remaining bytes could hold.
+  constexpr size_t kSectionHeaderBytes =
+      sizeof(int32_t) + sizeof(int64_t);
+  if (count < 0 ||
+      static_cast<uint64_t>(count) > frame.remaining() / kSectionHeaderBytes) {
+    return false;
+  }
+  Checkpoint checkpoint;
+  checkpoint.version = version;
+  checkpoint.sections.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    CheckpointSection section;
+    int64_t length = 0;
+    if (!frame.Read(&section.id, sizeof(section.id)) ||
+        !frame.Read(&length, sizeof(length)) ||
+        !frame.ReadPayload(length, &section.payload)) {
+      return false;
+    }
+    checkpoint.sections.push_back(std::move(section));
+  }
+  if (frame.remaining() != 0) return false;  // trailing garbage
+  *out = std::move(checkpoint);
+  return true;
+}
+
+bool CheckpointSave(const std::string& path, const Checkpoint& checkpoint) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string bytes = CheckpointEncode(checkpoint);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool CheckpointLoad(const std::string& path, Checkpoint* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return CheckpointDecode(contents, out);
 }
 
 }  // namespace kvec

@@ -1,8 +1,24 @@
-// Minimal binary serialisation for model checkpoints.
+// Minimal binary serialisation for model and serving-state checkpoints.
 //
 // Format: little-endian, length-prefixed. Writers/readers are symmetric and
-// validated by a magic tag per value kind so that truncated or mismatched
-// files fail loudly instead of producing garbage parameters.
+// every value carries a magic tag per kind, so truncated or mismatched
+// bytes fail loudly instead of producing garbage parameters.
+//
+// BinaryReader fails CLOSED: any read past the end of the buffer, any tag
+// mismatch, and any implausible length prefix (negative, or larger than the
+// bytes actually remaining) flips ok() to false and returns a zero/empty
+// value. Once failed, every later read also fails and the buffer position
+// stops advancing — callers can run a whole restore sequence and check
+// ok() once at the end, and corrupted input can never trigger an abort, an
+// oversized allocation, or an out-of-bounds copy. (Earlier revisions
+// aborted via KVEC_CHECK and trusted length prefixes, which made every
+// caller responsible for pre-validating untrusted bytes.)
+//
+// On top of the value layer sits the checkpoint container used for serving
+// state (StreamServer / ShardedStreamServer): a magic number, a format
+// version, and length-prefixed sections keyed by an integer id. Readers
+// skip sections whose id they do not recognise, so a version bump is only
+// needed when an existing section's payload layout changes.
 #ifndef KVEC_UTIL_SERIALIZE_H_
 #define KVEC_UTIL_SERIALIZE_H_
 
@@ -19,6 +35,9 @@ class BinaryWriter {
   void WriteFloat(float value);
   void WriteString(const std::string& value);
   void WriteFloatVector(const std::vector<float>& values);
+  // Same wire format as WriteFloatVector, straight from a raw buffer (no
+  // intermediate std::vector copy; used by the encoder arena snapshot).
+  void WriteFloats(const float* values, size_t count);
   void WriteIntVector(const std::vector<int>& values);
 
   const std::string& buffer() const { return buffer_; }
@@ -39,6 +58,8 @@ class BinaryReader {
   // file could be read.
   static BinaryReader FromFile(const std::string& path);
 
+  // All reads fail closed: on truncation, tag mismatch, or a bad length
+  // prefix they set ok() to false and return 0 / an empty value.
   int32_t ReadInt32();
   int64_t ReadInt64();
   float ReadFloat();
@@ -48,14 +69,67 @@ class BinaryReader {
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return position_ == buffer_.size(); }
+  // Bytes not yet consumed. Restore loops bound their element counts by
+  // this so a corrupted count can never spin a near-empty reader.
+  size_t remaining() const { return buffer_.size() - position_; }
 
  private:
-  void Consume(void* data, size_t size);
+  // Returns false (and fails the reader) instead of reading past the end.
+  bool Consume(void* data, size_t size);
+  // Reads and validates the tag of one value.
+  bool ConsumeTag(int32_t expected);
+  // Reads a length prefix and validates 0 <= size and size * elem_size <=
+  // remaining(); on failure fails the reader and returns false.
+  bool ConsumeSize(size_t elem_size, int64_t* size);
+  void Fail() { ok_ = false; }
 
   std::string buffer_;
   size_t position_ = 0;
   bool ok_ = true;
 };
+
+// ---- Checkpoint container ------------------------------------------------
+//
+// Layout (all raw little-endian, no per-value tags at the frame level):
+//   uint32  magic          'KVCP'
+//   int32   format version
+//   int32   section count
+//   per section:
+//     int32 id
+//     int64 payload length in bytes
+//     byte* payload
+//
+// Payloads are opaque to the container (by convention they are BinaryWriter
+// value streams). Unknown section ids are preserved by decode; consumers
+// skip what they do not recognise.
+
+inline constexpr uint32_t kCheckpointMagic = 0x4b564350u;  // "PCVK" on disk
+inline constexpr int32_t kCheckpointFormatVersion = 1;
+
+struct CheckpointSection {
+  int32_t id = 0;
+  std::string payload;
+};
+
+struct Checkpoint {
+  int32_t version = kCheckpointFormatVersion;
+  std::vector<CheckpointSection> sections;
+
+  // First section with this id, or nullptr.
+  const CheckpointSection* Find(int32_t id) const;
+};
+
+// Frames `checkpoint` into a byte string (always succeeds).
+std::string CheckpointEncode(const Checkpoint& checkpoint);
+
+// Parses `bytes`; returns false (leaving `*out` unspecified) on a bad
+// magic, an unknown future version, a malformed frame, or truncation.
+// Never aborts and never allocates more than `bytes.size()` payload.
+bool CheckpointDecode(const std::string& bytes, Checkpoint* out);
+
+// File entry points: Save frames + writes, Load reads + parses.
+bool CheckpointSave(const std::string& path, const Checkpoint& checkpoint);
+bool CheckpointLoad(const std::string& path, Checkpoint* out);
 
 }  // namespace kvec
 

@@ -1,6 +1,7 @@
 #include "util/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -25,6 +26,7 @@ TEST(SerializeTest, RoundTripAllTypes) {
   EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{1.0f, -2.5f, 0.0f}));
   EXPECT_EQ(reader.ReadIntVector(), (std::vector<int>{7, 8, 9}));
   EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.ok());
 }
 
 TEST(SerializeTest, EmptyContainers) {
@@ -34,6 +36,7 @@ TEST(SerializeTest, EmptyContainers) {
   BinaryReader reader(writer.buffer());
   EXPECT_EQ(reader.ReadString(), "");
   EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_TRUE(reader.ok());
 }
 
 TEST(SerializeTest, FileRoundTrip) {
@@ -55,19 +58,150 @@ TEST(SerializeTest, MissingFileReportsNotOk) {
   EXPECT_FALSE(reader.ok());
 }
 
-TEST(SerializeDeathTest, TypeMismatchAborts) {
+// ---- Fail-closed reads (the reader must never abort, allocate huge
+// buffers, or read out of bounds on untrusted bytes). ----
+
+TEST(SerializeTest, TypeMismatchFailsClosed) {
   BinaryWriter writer;
   writer.WriteInt32(1);
   BinaryReader reader(writer.buffer());
-  EXPECT_DEATH(reader.ReadFloat(), "type mismatch");
+  EXPECT_EQ(reader.ReadFloat(), 0.0f);
+  EXPECT_FALSE(reader.ok());
+  // Once failed, every later read fails too — even one the bytes could
+  // have satisfied.
+  EXPECT_EQ(reader.ReadInt32(), 0);
+  EXPECT_FALSE(reader.ok());
 }
 
-TEST(SerializeDeathTest, TruncatedBufferAborts) {
+TEST(SerializeTest, TruncatedVectorFailsClosed) {
   BinaryWriter writer;
   writer.WriteFloatVector({1.0f, 2.0f, 3.0f});
   std::string truncated = writer.buffer().substr(0, 10);
   BinaryReader reader(truncated);
-  EXPECT_DEATH(reader.ReadFloatVector(), "truncated");
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeTest, EveryTruncationPointFailsClosed) {
+  BinaryWriter writer;
+  writer.WriteInt32(7);
+  writer.WriteString("abc");
+  writer.WriteIntVector({1, 2, 3});
+  const std::string& full = writer.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    BinaryReader reader(full.substr(0, cut));
+    reader.ReadInt32();
+    reader.ReadString();
+    reader.ReadIntVector();
+    EXPECT_FALSE(reader.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeTest, OversizedLengthPrefixFailsWithoutAllocating) {
+  // Hand-craft a float vector whose length prefix claims 2^60 elements:
+  // the reader must reject it by comparing against the bytes remaining,
+  // not by trying to allocate.
+  BinaryWriter writer;
+  writer.WriteFloatVector({1.0f, 2.0f});
+  std::string bytes = writer.buffer();
+  const int64_t huge = int64_t{1} << 60;
+  std::memcpy(&bytes[4], &huge, sizeof(huge));  // after the 4-byte tag
+  BinaryReader reader(bytes);
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeTest, NegativeLengthPrefixFailsClosed) {
+  BinaryWriter writer;
+  writer.WriteString("abcd");
+  std::string bytes = writer.buffer();
+  const int64_t negative = -5;
+  std::memcpy(&bytes[4], &negative, sizeof(negative));
+  BinaryReader reader(bytes);
+  EXPECT_TRUE(reader.ReadString().empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeTest, RemainingTracksConsumption) {
+  BinaryWriter writer;
+  writer.WriteInt32(5);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), writer.buffer().size());
+  reader.ReadInt32();
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// ---- Checkpoint container ----
+
+Checkpoint MakeTwoSectionCheckpoint() {
+  Checkpoint checkpoint;
+  checkpoint.sections.push_back({1, std::string("alpha")});
+  checkpoint.sections.push_back({7, std::string("\x00\x01\x02", 3)});
+  return checkpoint;
+}
+
+TEST(CheckpointContainerTest, EncodeDecodeRoundTrip) {
+  const std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  Checkpoint decoded;
+  ASSERT_TRUE(CheckpointDecode(bytes, &decoded));
+  EXPECT_EQ(decoded.version, kCheckpointFormatVersion);
+  ASSERT_EQ(decoded.sections.size(), 2u);
+  EXPECT_EQ(decoded.sections[0].id, 1);
+  EXPECT_EQ(decoded.sections[0].payload, "alpha");
+  EXPECT_EQ(decoded.sections[1].id, 7);
+  EXPECT_EQ(decoded.sections[1].payload, std::string("\x00\x01\x02", 3));
+  ASSERT_NE(decoded.Find(7), nullptr);
+  EXPECT_EQ(decoded.Find(7)->payload.size(), 3u);
+  EXPECT_EQ(decoded.Find(99), nullptr);
+}
+
+TEST(CheckpointContainerTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/kvec_checkpoint_test.ckpt";
+  ASSERT_TRUE(CheckpointSave(path, MakeTwoSectionCheckpoint()));
+  Checkpoint decoded;
+  ASSERT_TRUE(CheckpointLoad(path, &decoded));
+  EXPECT_EQ(decoded.sections.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointContainerTest, RejectsBadMagic) {
+  std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  bytes[0] ^= 0xff;
+  Checkpoint decoded;
+  EXPECT_FALSE(CheckpointDecode(bytes, &decoded));
+}
+
+TEST(CheckpointContainerTest, RejectsFutureVersion) {
+  Checkpoint future = MakeTwoSectionCheckpoint();
+  future.version = kCheckpointFormatVersion + 1;
+  Checkpoint decoded;
+  EXPECT_FALSE(CheckpointDecode(CheckpointEncode(future), &decoded));
+  future.version = 0;
+  EXPECT_FALSE(CheckpointDecode(CheckpointEncode(future), &decoded));
+}
+
+TEST(CheckpointContainerTest, RejectsEveryTruncationPoint) {
+  const std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Checkpoint decoded;
+    EXPECT_FALSE(CheckpointDecode(bytes.substr(0, cut), &decoded))
+        << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointContainerTest, RejectsTrailingGarbage) {
+  std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  bytes.push_back('x');
+  Checkpoint decoded;
+  EXPECT_FALSE(CheckpointDecode(bytes, &decoded));
+}
+
+TEST(CheckpointContainerTest, RejectsOversizedSectionCount) {
+  std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  const int32_t huge = 1 << 30;
+  std::memcpy(&bytes[8], &huge, sizeof(huge));  // section-count field
+  Checkpoint decoded;
+  EXPECT_FALSE(CheckpointDecode(bytes, &decoded));
 }
 
 }  // namespace
