@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only, no network).
+
+Scans the given markdown files/directories for inline links and images
+(``[text](target)``) and reference definitions (``[label]: target``) and
+verifies that every *relative* target resolves:
+
+* plain paths must exist relative to the linking file;
+* ``path#anchor`` targets must exist AND contain a heading whose GitHub
+  slug matches the anchor;
+* ``#anchor`` targets must match a heading in the linking file itself.
+
+External schemes (http/https/mailto) are deliberately not fetched — CI
+must not depend on the network — but obviously malformed ones (empty
+target) still fail. Exit code 0 when every link resolves, 1 otherwise,
+with one ``file:line`` diagnostic per broken link.
+
+Usage: check_markdown_links.py README.md docs/
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(1))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def markdown_files(args):
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield arg
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Strip inline code spans so `[x](y)` examples are not links.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for match in INLINE_LINK.finditer(stripped):
+                yield lineno, match.group(1)
+            match = REF_DEF.match(stripped)
+            if match:
+                yield lineno, match.group(1)
+
+
+def check_file(path, slug_cache):
+    errors = []
+    base = os.path.dirname(path) or "."
+
+    def slugs_of(target_path):
+        target_path = os.path.realpath(target_path)
+        if target_path not in slug_cache:
+            slug_cache[target_path] = heading_slugs(target_path)
+        return slug_cache[target_path]
+
+    for lineno, target in iter_links(path):
+        if not target:
+            errors.append((path, lineno, "empty link target"))
+            continue
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # external scheme; not checked offline
+        anchor = None
+        if "#" in target:
+            target, anchor = target.split("#", 1)
+        if target:
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append((path, lineno, f"missing file: {target}"))
+                continue
+            if anchor is not None:
+                if not resolved.endswith(".md"):
+                    continue  # anchors into non-markdown are not checkable
+                if anchor not in slugs_of(resolved):
+                    errors.append(
+                        (path, lineno, f"missing anchor: {target}#{anchor}"))
+        elif anchor is not None:
+            if anchor not in slugs_of(path):
+                errors.append((path, lineno, f"missing anchor: #{anchor}"))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    slug_cache = {}
+    checked = 0
+    for path in markdown_files(argv[1:]):
+        checked += 1
+        errors.extend(check_file(path, slug_cache))
+    for path, lineno, message in errors:
+        print(f"{path}:{lineno}: {message}")
+    print(f"checked {checked} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

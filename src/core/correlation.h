@@ -26,6 +26,10 @@
 // the online inference engine, so the two cannot drift apart:
 // BuildEpisodeMask is a loop over ObserveItem and therefore exercises the
 // identical index.
+//
+// Threading: NOT thread-safe; a tracker belongs to exactly one engine
+// (OnlineClassifier) and is mutated on every ObserveItem. Independent
+// trackers on different threads never share state.
 #ifndef KVEC_CORE_CORRELATION_H_
 #define KVEC_CORE_CORRELATION_H_
 

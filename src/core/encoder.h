@@ -8,6 +8,11 @@
 // inference time: it appends one row per arriving item in O(t·d) instead of
 // recomputing the full O(t²·d) pass, and is verified to match the batch
 // encoder bit-for-bit-ish (1e-4) in tests.
+//
+// Threading: KvrlEncoder::Forward is a const read — concurrent calls over
+// a frozen encoder are safe (each gets its own tape). IncrementalEncoder
+// is stateful and NOT thread-safe: one instance per serving engine, which
+// is how OnlineClassifier and each ShardedStreamServer shard use it.
 #ifndef KVEC_CORE_ENCODER_H_
 #define KVEC_CORE_ENCODER_H_
 

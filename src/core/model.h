@@ -1,5 +1,20 @@
 // The complete KVEC model (paper Fig. 2): KVRL encoder + LSTM fusion cell +
 // ECTL halting policy + baseline + classifier.
+//
+// Threading: construction and parameter updates (training, LoadFromFile)
+// are single-threaded — exactly one writer, no concurrent readers. Once
+// the parameters are frozen, any number of threads may read the model
+// concurrently; this is what lets every shard of a ShardedStreamServer
+// share one `const KvecModel&`.
+//
+// Checkpointing: SaveToFile/LoadFromFile persist the *parameter values
+// only*, in registration order, shapes included — not the config. The
+// loader must construct the model from an identical KvecConfig first
+// (LoadFromFile fails closed on any shape mismatch). The `kvec` CLI's
+// model bundles (src/cli/model_io.h) wrap exactly this stream together
+// with the serialised config to make the artifact self-describing.
+// Serving-side state (open sessions, encoder caches) is checkpointed
+// separately by StreamServer; see docs/SERVING.md.
 #ifndef KVEC_CORE_MODEL_H_
 #define KVEC_CORE_MODEL_H_
 

@@ -21,6 +21,15 @@
 // stream-order equivalent to B Observe calls (pinned by
 // core_batch_equivalence_test.cc). StreamServer interleaves the two stages
 // with its own bookkeeping to keep eviction semantics identical.
+//
+// Threading: NOT thread-safe — every call mutates the stream clock, the
+// correlation index, and the encoder caches. Run one engine per serving
+// thread; ShardedStreamServer does exactly that (one engine per shard
+// behind a per-shard mutex) while all engines share one frozen model.
+// Complexity: O(t_visible · d) per item for encoding (incremental, never
+// re-encodes history) plus O(matches + log) correlation tracking — see
+// core/correlation.h. Memory grows with every observed item until the
+// owner rotates the engine (StreamServer's max_window_items bound).
 #ifndef KVEC_CORE_ONLINE_H_
 #define KVEC_CORE_ONLINE_H_
 

@@ -25,6 +25,10 @@
 // Every classification (policy halt or forced) is emitted as a
 // StreamEvent, with the cause recorded, so downstream consumers see one
 // verdict per key-value sequence.
+//
+// Threading: NOT thread-safe — one server serves one stream from one
+// thread. For concurrent ingest wrap shards in ShardedStreamServer,
+// which serialises same-shard callers on a per-shard mutex.
 #ifndef KVEC_CORE_STREAM_SERVER_H_
 #define KVEC_CORE_STREAM_SERVER_H_
 

@@ -15,6 +15,15 @@
 // of a sequence); produces PredictionRecords plus optional instrumentation
 // (internal/external attention scores for Fig. 10, halting positions for
 // Fig. 11).
+//
+// Threading and determinism: a trainer drives its model single-threaded —
+// one trainer per model, no concurrent Train/Evaluate on the same
+// instance. The tensor kernels underneath may parallelise across rows via
+// the global thread pool, but per-row accumulation order is fixed, so for
+// a given config.seed the trained parameters and every evaluation are
+// bit-identical regardless of KVEC_NUM_THREADS. Training cost is
+// O(epochs · Σ_episodes T² · d) (full-episode encoder passes); Evaluate
+// is one forward pass per episode.
 #ifndef KVEC_CORE_TRAINER_H_
 #define KVEC_CORE_TRAINER_H_
 

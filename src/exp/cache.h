@@ -4,6 +4,13 @@
 // binary to run performs the (expensive) training and stores the points as
 // CSV, subsequent binaries reload them. KVEC_BENCH_FRESH=1 bypasses the
 // cache.
+//
+// Concurrency contract: one CSV file per key, written whole — concurrent
+// Store calls for the SAME key are last-writer-wins (both writers hold a
+// complete, valid result, so either outcome is correct); there is no
+// cross-process locking. Load of a malformed/partial file fails cleanly
+// and the caller recomputes. Keys are sanitised into filenames, so any
+// printable key is safe.
 #ifndef KVEC_EXP_CACHE_H_
 #define KVEC_EXP_CACHE_H_
 

@@ -4,6 +4,10 @@
 // Folds are formed over whole episodes, which keeps them key-disjoint: every
 // episode owns its keys, so no key ever appears in both the training and
 // test side of a fold — the paper's leakage guarantee.
+//
+// Cost: CrossValidate trains `num_folds` fresh models at the given grid
+// value (sequentially; deterministic for a fixed fold seed + options
+// seed), so a five-fold run costs 5× one RunMethodSweep grid point.
 #ifndef KVEC_EXP_CV_H_
 #define KVEC_EXP_CV_H_
 

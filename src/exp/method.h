@@ -5,6 +5,10 @@
 // earliness-accuracy curve (β for KVEC, λ for (SRN-)EARLIEST, τ for
 // SRN-Fixed, µ for SRN-Confidence) and a `run` function that trains a fresh
 // model at one grid point and evaluates it on the test split.
+//
+// Every `run` is deterministic for a fixed (dataset, hyper,
+// MethodRunOptions::seed) triple and owns all of its state — no two runs
+// share anything, so callers may execute grid points in any order.
 #ifndef KVEC_EXP_METHOD_H_
 #define KVEC_EXP_METHOD_H_
 

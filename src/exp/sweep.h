@@ -1,5 +1,13 @@
 // Hyper-parameter sweeps producing performance-vs-earliness curves
 // (Figures 3–7) and their tabular (de)serialisation.
+//
+// Cost contract: RunMethodSweep trains one FRESH model per grid value —
+// a full sweep is |grid| independent trainings, which at full scale is
+// the expensive part of reproducing the figures (cache results via
+// exp/cache.h, or drive it through `kvec sweep --cache`). Deterministic
+// for fixed MethodRunOptions::seed. The functions share no mutable
+// state, so concurrent sweeps of different methods/datasets from
+// different threads are safe; a single sweep runs sequentially.
 #ifndef KVEC_EXP_SWEEP_H_
 #define KVEC_EXP_SWEEP_H_
 
