@@ -1,7 +1,9 @@
-// Serving-layer micro benchmarks: sharded throughput on a tangled stream
-// and steady-state capacity eviction cost at large open-key counts.
+// Serving-layer micro benchmarks: sharded throughput on a tangled stream,
+// steady-state capacity eviction cost at large open-key counts, and the
+// PR-6 shard-owned-worker mode (throughput scaling and overload shedding
+// at saturation).
 //
-// Two effects are measured:
+// Effects measured:
 //  * BM_ShardedStreamThroughput — items/sec of ShardedStreamServer at 1-8
 //    shards over a maximally tangled synthetic stream (hundreds of
 //    concurrent keys sharing one session value). Historically sharding
@@ -16,6 +18,16 @@
 //    this is O(log open_keys); the pre-index full scan was O(open_keys)
 //    (12 us -> 1781 us per item from 1k to 100k open keys on the reference
 //    machine; see docs/SERVING.md for before/after numbers).
+//  * BM_ShardWorkerThroughput — end-to-end items/sec of the shard-owned
+//    worker mode (Submit + Drain, kBlock backpressure) at 1/2/4/8 workers.
+//    Scaling with worker count needs real cores: the committed numbers
+//    come from a single-core container, where extra workers only add
+//    handoff cost — rerun on a multi-core host to see the scaling curve.
+//  * BM_ShardWorkerSaturation — overload behavior at full-speed offered
+//    load with a deliberately tiny queue (depth 4) and kShedNewest: the
+//    producer outruns the workers, and the custom counters report what the
+//    overload layer did about it (shed_rate = items_shed/items_submitted,
+//    offered_per_sec, items_per_second = processed throughput).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -129,6 +141,90 @@ BENCHMARK(BM_CapacityEvictionSteadyState)
     ->Arg(1 << 14)
     ->Arg(100000)
     ->Unit(benchmark::kMicrosecond);
+
+// Shared config for the worker-mode benchmarks: engine-side eviction and
+// rotation disabled so the timing isolates the transport layer + inference.
+ShardedStreamServerConfig WorkerConfig(int workers, int queue_depth,
+                                       OverloadPolicy policy) {
+  ShardedStreamServerConfig config;
+  config.num_shards = workers;
+  config.worker_threads = workers;
+  config.queue_depth = queue_depth;
+  config.overload_policy = policy;
+  config.shard.max_window_items = 1 << 30;
+  config.shard.idle_timeout = 1 << 30;
+  config.shard.idle_check_interval = 1 << 30;
+  config.shard.max_open_keys = 1 << 20;
+  return config;
+}
+
+void BM_ShardWorkerThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel(/*value_correlation=*/true);
+  const std::vector<Item> stream = MakeTangledStream(/*num_keys=*/8192,
+                                                     /*total_items=*/8192);
+  const ShardedStreamServerConfig config =
+      WorkerConfig(workers, /*queue_depth=*/256, OverloadPolicy::kBlock);
+
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    ShardedStreamServer server(model, config);
+    for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
+      const size_t end = std::min(stream.size(), begin + kBatch);
+      server.Submit(
+          std::vector<Item>(stream.begin() + begin, stream.begin() + end));
+    }
+    server.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_ShardWorkerThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardWorkerSaturation(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel(/*value_correlation=*/true);
+  const std::vector<Item> stream = MakeTangledStream(/*num_keys=*/8192,
+                                                     /*total_items=*/8192);
+  const ShardedStreamServerConfig config =
+      WorkerConfig(workers, /*queue_depth=*/4, OverloadPolicy::kShedNewest);
+
+  constexpr int kBatch = 64;
+  int64_t submitted = 0;
+  int64_t processed = 0;
+  int64_t shed = 0;
+  for (auto _ : state) {
+    ShardedStreamServer server(model, config);
+    for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
+      const size_t end = std::min(stream.size(), begin + kBatch);
+      server.Submit(
+          std::vector<Item>(stream.begin() + begin, stream.begin() + end));
+    }
+    server.Drain();
+    const StreamServerStats stats = server.stats();
+    submitted += stats.items_submitted;
+    processed += stats.items_processed;
+    shed += stats.items_shed;
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["shed_rate"] =
+      submitted > 0 ? static_cast<double>(shed) / submitted : 0.0;
+  state.counters["offered_per_sec"] = benchmark::Counter(
+      static_cast<double>(submitted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardWorkerSaturation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace kvec

@@ -8,14 +8,21 @@
 #                    1k-100k open keys; the PR-3 pipeline),
 #   BENCH_PR4.json — serving-state checkpoint/restore (encode, restore, and
 #                    file round-trip latency at 1k/8k open keys; the PR-4
-#                    checkpoint subsystem).
+#                    checkpoint subsystem),
+#   BENCH_PR6.json — shard-owned-worker serving (Submit+Drain items/sec at
+#                    1/2/4/8 workers, and the saturation sweep's shed_rate /
+#                    offered_per_sec under kShedNewest with a depth-4 queue;
+#                    the PR-6 overload subsystem). Worker scaling needs real
+#                    cores — note num_cpus in the context block when reading
+#                    the committed numbers.
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4]
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6]
 #   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
-#              micro_pipeline / micro_checkpoint)
+#              micro_pipeline / micro_checkpoint / micro_stream_shard)
 #   out_pr1    defaults to ./BENCH_PR1.json
 #   out_pr3    defaults to ./BENCH_PR3.json
 #   out_pr4    defaults to ./BENCH_PR4.json
+#   out_pr6    defaults to ./BENCH_PR6.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -26,6 +33,7 @@ BUILD_DIR="${1:-build}"
 OUT_PR1="${2:-BENCH_PR1.json}"
 OUT_PR3="${3:-BENCH_PR3.json}"
 OUT_PR4="${4:-BENCH_PR4.json}"
+OUT_PR6="${5:-BENCH_PR6.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -49,11 +57,24 @@ for path in sys.argv[1:-1]:
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
             "kvec_num_threads": __import__("os").environ.get("KVEC_NUM_THREADS"),
         }
+    # Standard per-run keys; anything else numeric is a user counter
+    # (e.g. the saturation sweep's shed_rate / offered_per_sec).
+    standard = {
+        "name", "family_index", "per_family_instance_index", "run_name",
+        "run_type", "repetitions", "repetition_index", "threads",
+        "iterations", "real_time", "cpu_time", "time_unit",
+        "items_per_second", "bytes_per_second", "aggregate_name",
+        "aggregate_unit", "label",
+    }
     for bench in report.get("benchmarks", []):
-        merged["benchmarks"][bench["name"]] = {
+        entry = {
             "real_time_ns": bench["real_time"],
             "items_per_second": bench.get("items_per_second"),
         }
+        for key, value in bench.items():
+            if key not in standard and isinstance(value, (int, float)):
+                entry[key] = value
+        merged["benchmarks"][bench["name"]] = entry
 
 with open(sys.argv[-1], "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
@@ -93,3 +114,12 @@ merge_reports "${TMP_DIR}/serving.json" "${OUT_PR3}"
   --benchmark_out="${TMP_DIR}/checkpoint.json" --benchmark_out_format=json
 
 merge_reports "${TMP_DIR}/checkpoint.json" "${OUT_PR4}"
+
+# ---- PR 6: shard-owned workers + overload shedding ----
+
+"${BUILD_DIR}/micro_stream_shard" \
+  --benchmark_filter='BM_ShardWorker' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/workers.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/workers.json" "${OUT_PR6}"

@@ -1,11 +1,15 @@
 #include "cli/subcommands.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "cli/args.h"
@@ -21,6 +25,8 @@
 #include "exp/method.h"
 #include "exp/sweep.h"
 #include "metrics/metrics.h"
+#include "util/bounded_queue.h"
+#include "util/fault_injection.h"
 #include "util/table.h"
 
 namespace kvec {
@@ -30,6 +36,16 @@ namespace {
 constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
+// Graceful SIGINT shutdown (128 + SIGINT), the shell convention.
+constexpr int kExitInterrupted = 130;
+
+// Set by the SIGINT action while `kvec serve` replays (and by
+// RequestServeInterrupt from tests); the replay loops poll it at batch
+// boundaries. std::atomic<bool> is lock-free on every target we build, so
+// the store is async-signal-safe.
+std::atomic<bool> g_serve_interrupted{false};
+
+void HandleServeSigint(int) { g_serve_interrupted.store(true); }
 
 // ---- Shared dataset flags ------------------------------------------------
 
@@ -707,12 +723,40 @@ struct ServeOutcome {
   double seconds = 0.0;
   StreamServerStats stats;
   int open_keys_after = 0;
+  bool interrupted = false;
+  // Per-shard views (workers/sharded mode only) for the SIGINT report.
+  std::vector<StreamServerStats> per_shard;
 };
 
-void EmitServeJson(const ServeOutcome& outcome, int shards, int batch,
-                   JsonWriter* writer) {
+// Thread-safe verdict-accuracy accumulator: the shard workers deliver
+// Submit-path events concurrently through the on_events sink.
+struct EventRecorder {
+  const std::map<int, int>* truth = nullptr;
+  std::mutex mutex;
+  int64_t correct = 0;   // guarded by mutex
+  int64_t labelled = 0;  // guarded by mutex
+
+  void Record(const std::vector<StreamEvent>& events) {
+    int64_t batch_correct = 0;
+    int64_t batch_labelled = 0;
+    for (const StreamEvent& event : events) {
+      auto it = truth->find(event.key);
+      if (it != truth->end()) {
+        ++batch_labelled;
+        if (event.predicted_label == it->second) ++batch_correct;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    correct += batch_correct;
+    labelled += batch_labelled;
+  }
+};
+
+void EmitServeJson(const ServeOutcome& outcome, int shards, int workers,
+                   int batch, JsonWriter* writer) {
   writer->Key("items").Int(outcome.items);
   writer->Key("shards").Int(shards);
+  writer->Key("workers").Int(workers);
   writer->Key("batch").Int(batch);
   writer->Key("seconds").Double(outcome.seconds);
   writer->Key("items_per_sec")
@@ -722,6 +766,12 @@ void EmitServeJson(const ServeOutcome& outcome, int shards, int batch,
                   ? static_cast<double>(outcome.correct) / outcome.labelled
                   : 0.0);
   writer->Key("open_keys_after").Int(outcome.open_keys_after);
+  writer->Key("interrupted").Bool(outcome.interrupted);
+  writer->Key("overload").BeginObject();
+  writer->Key("items_submitted").Int(outcome.stats.items_submitted);
+  writer->Key("batches_shed").Int(outcome.stats.batches_shed);
+  writer->Key("items_shed").Int(outcome.stats.items_shed);
+  writer->EndObject();
   writer->Key("events").BeginObject();
   writer->Key("sequences_classified").Int(outcome.stats.sequences_classified);
   writer->Key("policy_halts").Int(outcome.stats.policy_halts);
@@ -763,11 +813,34 @@ Table ServeTable(const ServeOutcome& outcome) {
   table.AddRow(
       {"windows started", std::to_string(outcome.stats.windows_started)});
   table.AddRow({"open keys after", std::to_string(outcome.open_keys_after)});
+  table.AddRow(
+      {"items submitted", std::to_string(outcome.stats.items_submitted)});
+  table.AddRow({"batches shed", std::to_string(outcome.stats.batches_shed)});
+  table.AddRow({"items shed", std::to_string(outcome.stats.items_shed)});
   return table;
 }
 
-// Replays `stream` through a server built from the flags. Shared by serve
-// and bench so the two subcommands cannot drift apart in semantics.
+// The SIGINT report: one row per shard so an operator can see which shard
+// was hot (or shedding) when the process was asked to stop.
+Table PerShardTable(const std::vector<StreamServerStats>& per_shard) {
+  Table table({"shard", "processed", "classified", "submitted", "shed items",
+               "shed batches"});
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const StreamServerStats& stats = per_shard[s];
+    table.AddRow({std::to_string(s), std::to_string(stats.items_processed),
+                  std::to_string(stats.sequences_classified),
+                  std::to_string(stats.items_submitted),
+                  std::to_string(stats.items_shed),
+                  std::to_string(stats.batches_shed)});
+  }
+  return table;
+}
+
+// Replays `stream` through a server built from the flags (synchronous
+// ingest: events come back from Observe/ObserveBatch). Shared by serve and
+// bench so the two subcommands cannot drift apart in semantics. Polls the
+// SIGINT flag at batch boundaries; on interrupt the rest of the stream is
+// skipped and no flush runs (keys stay open for --save-checkpoint).
 template <typename Server>
 ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
                           int batch, bool flush,
@@ -783,26 +856,89 @@ ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
     }
   };
   const auto start = std::chrono::steady_clock::now();
+  int64_t fed = 0;
   if (batch <= 1) {
-    for (const Item& item : stream) record(server.Observe(item));
+    for (const Item& item : stream) {
+      if (g_serve_interrupted.load()) break;
+      (void)KVEC_FAULT_POINT("serve.batch");
+      record(server.Observe(item));
+      ++fed;
+    }
   } else {
     for (size_t begin = 0; begin < stream.size();
          begin += static_cast<size_t>(batch)) {
+      if (g_serve_interrupted.load()) break;
+      (void)KVEC_FAULT_POINT("serve.batch");
       size_t end = std::min(stream.size(), begin + static_cast<size_t>(batch));
       record(server.ObserveBatch(
           std::vector<Item>(stream.begin() + begin, stream.begin() + end)));
+      fed += static_cast<int64_t>(end - begin);
     }
   }
-  if (flush) record(server.Flush());
+  outcome.interrupted = g_serve_interrupted.load();
+  if (flush && !outcome.interrupted) record(server.Flush());
   const auto stop = std::chrono::steady_clock::now();
   outcome.seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
           .count();
-  outcome.items = static_cast<int64_t>(stream.size());
+  outcome.items = fed;
   outcome.stats = server.stats();
   outcome.open_keys_after = server.open_keys();
   return outcome;
 }
+
+// The overload-policy replay: fire-and-forget Submit into the shard
+// workers, events recorded by `recorder` through the on_events sink.
+// Throughput reported over *processed* items (offered minus shed), from
+// the items_processed delta so a --load-checkpoint baseline is excluded.
+ServeOutcome ReplaySubmitStream(ShardedStreamServer& server,
+                                EventRecorder* recorder,
+                                const std::vector<Item>& stream, int batch,
+                                bool flush) {
+  ServeOutcome outcome;
+  const int64_t processed_before = server.stats().items_processed;
+  const size_t step = static_cast<size_t>(std::max(1, batch));
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < stream.size(); begin += step) {
+    if (g_serve_interrupted.load()) break;
+    (void)KVEC_FAULT_POINT("serve.batch");
+    size_t end = std::min(stream.size(), begin + step);
+    server.Submit(
+        std::vector<Item>(stream.begin() + begin, stream.begin() + end));
+  }
+  server.Drain();
+  outcome.interrupted = g_serve_interrupted.load();
+  if (flush && !outcome.interrupted) recorder->Record(server.Flush());
+  const auto stop = std::chrono::steady_clock::now();
+  outcome.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  outcome.stats = server.stats();
+  outcome.items = outcome.stats.items_processed - processed_before;
+  outcome.open_keys_after = server.open_keys();
+  {
+    std::lock_guard<std::mutex> lock(recorder->mutex);
+    outcome.correct = recorder->correct;
+    outcome.labelled = recorder->labelled;
+  }
+  return outcome;
+}
+
+// Restores the previous SIGINT disposition on every exit path (including
+// the RuntimeError early returns inside the replay loop).
+struct SigintScope {
+  explicit SigintScope(bool install) : active(install) {
+    if (active) {
+      g_serve_interrupted.store(false);
+      previous = std::signal(SIGINT, HandleServeSigint);
+    }
+  }
+  ~SigintScope() {
+    if (active) std::signal(SIGINT, previous);
+  }
+  bool active;
+  void (*previous)(int) = SIG_DFL;
+};
 
 int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err, bool bench) {
@@ -815,6 +951,20 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
       "split", "test", "which split to replay: train|validation|test");
   int64_t* shards = parser.AddInt(
       "shards", 1, "serve through a ShardedStreamServer with N shards");
+  int64_t workers_default = 0;
+  if (const char* env = std::getenv("KVEC_SHARD_WORKERS")) {
+    workers_default = std::atoll(env);
+  }
+  int64_t* workers = parser.AddInt(
+      "workers", workers_default,
+      "shard-owned worker threads (0 = synchronous ingest; N>0 = one worker "
+      "per shard, implies --shards N; default from KVEC_SHARD_WORKERS)");
+  int64_t* queue_depth = parser.AddInt(
+      "queue-depth", 256,
+      "per-shard bounded task-queue capacity, in batches (workers mode)");
+  std::string* overload_policy_text = parser.AddString(
+      "overload-policy", "block",
+      "full-queue behavior in workers mode: block|shed-newest|shed-oldest");
   int64_t* batch = parser.AddInt(
       "batch", 64, "microbatch size for ObserveBatch (1 = item at a time)");
   int64_t* max_window = parser.AddInt(
@@ -836,6 +986,35 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
   if (parser.help_requested()) {
     err << parser.Usage();
     return kExitOk;
+  }
+
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  if (!ParseOverloadPolicy(*overload_policy_text, &overload_policy)) {
+    err << "kvec: --overload-policy must be block|shed-newest|shed-oldest, "
+           "got '"
+        << *overload_policy_text << "'\n";
+    return kExitUsage;
+  }
+  if (*workers < 0) {
+    err << "kvec: --workers must be >= 0, got " << *workers << "\n";
+    return kExitUsage;
+  }
+  if (*queue_depth <= 0) {
+    err << "kvec: --queue-depth must be > 0, got " << *queue_depth << "\n";
+    return kExitUsage;
+  }
+  if (*workers > 0) {
+    // The worker model is one owned thread per shard: --workers N alone
+    // means N shards; an explicit conflicting --shards is an error, not a
+    // silent override.
+    if (!parser.Provided("shards")) {
+      *shards = *workers;
+    } else if (*shards != *workers) {
+      err << "kvec: --workers must equal --shards (one owned worker per "
+             "shard), got --workers "
+          << *workers << " --shards " << *shards << "\n";
+      return kExitUsage;
+    }
   }
 
   Dataset dataset;
@@ -883,12 +1062,26 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
   server_config.max_open_keys = static_cast<int>(*max_open_keys);
 
   const int runs = bench ? std::max<int>(1, static_cast<int>(*repeat)) : 1;
+  // serve handles SIGINT gracefully (drain, per-shard report, checkpoint,
+  // exit 130); bench keeps the default disposition so a Ctrl-C kills it.
+  SigintScope sigint_scope(!bench);
   std::vector<ServeOutcome> outcomes;
   for (int run = 0; run < runs; ++run) {
     ServeOutcome outcome;
-    if (*shards > 1) {
+    if (*shards > 1 || *workers > 0) {
+      EventRecorder recorder;
+      recorder.truth = &truth;
       ShardedStreamServerConfig sharded_config;
       sharded_config.num_shards = static_cast<int>(*shards);
+      sharded_config.worker_threads = static_cast<int>(*workers);
+      sharded_config.queue_depth = static_cast<int>(*queue_depth);
+      sharded_config.overload_policy = overload_policy;
+      if (*workers > 0) {
+        sharded_config.on_events =
+            [&recorder](int /*shard*/, const std::vector<StreamEvent>& events) {
+              recorder.Record(events);
+            };
+      }
       sharded_config.shard = server_config;
       ShardedStreamServer server(*model, sharded_config);
       if (!load_checkpoint->empty() &&
@@ -896,8 +1089,15 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
         return RuntimeError(
             "cannot restore checkpoint '" + *load_checkpoint + "'", err);
       }
-      outcome = ReplayStream(server, stream, static_cast<int>(*batch),
-                             *flush, truth);
+      outcome = *workers > 0
+                    ? ReplaySubmitStream(server, &recorder, stream,
+                                         static_cast<int>(*batch), *flush)
+                    : ReplayStream(server, stream, static_cast<int>(*batch),
+                                   *flush, truth);
+      outcome.per_shard.reserve(server.num_shards());
+      for (int s = 0; s < server.num_shards(); ++s) {
+        outcome.per_shard.push_back(server.shard_stats(s));
+      }
       if (!save_checkpoint->empty() &&
           !server.SaveCheckpoint(*save_checkpoint)) {
         return RuntimeError(
@@ -918,7 +1118,9 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
             "cannot write checkpoint '" + *save_checkpoint + "'", err);
       }
     }
-    outcomes.push_back(outcome);
+    const bool interrupted = outcome.interrupted;
+    outcomes.push_back(std::move(outcome));
+    if (interrupted) break;
   }
 
   // bench reports the best repetition (least scheduler noise); serve has
@@ -933,8 +1135,12 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
     writer.BeginObject();
     writer.Key("dataset").String(dataset.spec.name);
     writer.Key("split").String(*split);
-    EmitServeJson(*best, static_cast<int>(*shards), static_cast<int>(*batch),
-                  &writer);
+    EmitServeJson(*best, static_cast<int>(*shards), static_cast<int>(*workers),
+                  static_cast<int>(*batch), &writer);
+    if (*workers > 0) {
+      writer.Key("overload_policy").String(OverloadPolicyName(overload_policy));
+      writer.Key("queue_depth").Int(*queue_depth);
+    }
     if (bench) {
       writer.Key("repetitions").Int(runs);
       writer.Key("items_per_sec_all").BeginArray();
@@ -948,13 +1154,21 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
     out << writer.str();
   } else {
     out << dataset.spec.name << " / " << *split << " split, " << *shards
-        << " shard(s), batch " << *batch << ":\n"
-        << ServeTable(*best).ToText();
+        << " shard(s), ";
+    if (*workers > 0) {
+      out << *workers << " worker(s), queue depth " << *queue_depth << ", "
+          << OverloadPolicyName(overload_policy) << " policy, ";
+    }
+    out << "batch " << *batch << ":\n" << ServeTable(*best).ToText();
+    if (best->interrupted) {
+      out << "interrupted: drained shard queues, final per-shard stats:\n"
+          << PerShardTable(best->per_shard).ToText();
+    }
     if (bench && runs > 1) {
       out << "best of " << runs << " repetitions\n";
     }
   }
-  return kExitOk;
+  return best->interrupted ? kExitInterrupted : kExitOk;
 }
 
 // ---- kvec checkpoint -----------------------------------------------------
@@ -1074,6 +1288,8 @@ std::string GlobalUsage() {
 }
 
 }  // namespace
+
+void RequestServeInterrupt() { g_serve_interrupted.store(true); }
 
 const std::vector<SubcommandInfo>& Subcommands() {
   static const std::vector<SubcommandInfo> subcommands = {

@@ -39,6 +39,13 @@ int RunKvecCli(const std::vector<std::string>& args, std::ostream& out,
 // main() shim used by apps/kvec.cc.
 int KvecMain(int argc, char** argv);
 
+// Asks a running `kvec serve` replay to stop at the next batch boundary:
+// drain the shard queues, print final (per-shard) stats, honor
+// --save-checkpoint, and exit 130. Installed as the SIGINT action while
+// serve runs; exposed so tests can trigger the graceful-shutdown path
+// in-process without racing a real signal.
+void RequestServeInterrupt();
+
 // The subcommand table (name + one-line summary), in help order.
 struct SubcommandInfo {
   const char* name;

@@ -1,10 +1,12 @@
 #include "core/sharded_stream_server.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <utility>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace kvec {
@@ -23,18 +25,117 @@ uint32_t MixKey(uint32_t key) {
   return key;
 }
 
+// Completion count for a fan-out of control tasks: the posting thread
+// waits until every shard's worker ran its task.
+struct Barrier {
+  std::mutex mutex;
+  std::condition_variable done;
+  int remaining = 0;
+
+  void Arrive() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) done.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this]() { return remaining == 0; });
+  }
+};
+
 }  // namespace
 
 ShardedStreamServer::ShardedStreamServer(
     const KvecModel& model, const ShardedStreamServerConfig& config)
     : model_(model), config_(config) {
   KVEC_CHECK_GT(config.num_shards, 0);
+  KVEC_CHECK(config.worker_threads == 0 ||
+             config.worker_threads == config.num_shards)
+      << "worker_threads must be 0 (synchronous) or num_shards (one owned "
+         "worker per shard), got "
+      << config.worker_threads << " for " << config.num_shards << " shards";
+  if (config.worker_threads > 0) {
+    KVEC_CHECK_GT(config.queue_depth, 0);
+  }
   shards_.reserve(config.num_shards);
   for (int s = 0; s < config.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->server = std::make_unique<StreamServer>(model, config.shard);
+    if (config.worker_threads > 0) {
+      shard->queue =
+          std::make_unique<BoundedQueue<ShardTask>>(config.queue_depth);
+    }
     shards_.push_back(std::move(shard));
   }
+  // Workers start only after every shard is constructed: a worker may
+  // never touch another shard, but the loop captures `this`.
+  if (config.worker_threads > 0) {
+    for (int s = 0; s < config.num_shards; ++s) {
+      Shard* shard = shards_[s].get();
+      shard->worker = std::thread([this, shard, s]() { WorkerLoop(shard, s); });
+    }
+  }
+}
+
+ShardedStreamServer::~ShardedStreamServer() {
+  if (!asynchronous()) return;
+  // Close-then-join is the graceful quiesce: Pop keeps handing out already
+  // accepted tasks until the queue is empty, so no accepted batch is lost.
+  for (const auto& shard : shards_) shard->queue->Close();
+  for (const auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedStreamServer::WorkerLoop(Shard* shard, int shard_index) {
+  ShardTask task;
+  while (shard->queue->Pop(&task)) {
+    if (task.fn) {
+      task.fn(*shard->server);
+      continue;
+    }
+    // Stall point: tests hold the worker here mid-stream to saturate its
+    // queue deterministically (the verdict is irrelevant — not a failable
+    // site).
+    (void)KVEC_FAULT_POINT("shard_worker.batch");
+    const std::vector<StreamEvent> events =
+        shard->server->ObserveBatch(task.items);
+    if (config_.on_events) config_.on_events(shard_index, events);
+  }
+}
+
+void ShardedStreamServer::RunOnAllShards(
+    const std::function<void(int, StreamServer&)>& fn) const {
+  const int num_shards = static_cast<int>(shards_.size());
+  if (!asynchronous()) {
+    for (int s = 0; s < num_shards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+      fn(s, *shards_[s]->server);
+    }
+    return;
+  }
+  Barrier barrier;
+  barrier.remaining = num_shards;
+  for (int s = 0; s < num_shards; ++s) {
+    ShardTask task;
+    task.fn = [&fn, &barrier, s](StreamServer& server) {
+      fn(s, server);
+      barrier.Arrive();
+    };
+    // Control tasks always block for space and are never sheddable: a
+    // saturated queue delays a query, it cannot lose one.
+    const auto result = shards_[s]->queue->Push(
+        std::move(task), OverloadPolicy::kBlock, /*sheddable=*/false,
+        /*shed_out=*/nullptr);
+    KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted)
+        << "control task pushed into a closed shard queue";
+  }
+  barrier.Wait();
+}
+
+void ShardedStreamServer::CountShed(Shard* shard, int64_t batches,
+                                    int64_t items) {
+  shard->batches_shed.fetch_add(batches, std::memory_order_relaxed);
+  shard->items_shed.fetch_add(items, std::memory_order_relaxed);
 }
 
 int ShardedStreamServer::ShardOf(int key) const {
@@ -44,16 +145,36 @@ int ShardedStreamServer::ShardOf(int key) const {
 
 std::vector<StreamEvent> ShardedStreamServer::Observe(const Item& item) {
   Shard& shard = *shards_[ShardOf(item.key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.server->Observe(item);
+  shard.items_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!asynchronous()) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.server->Observe(item);
+  }
+  std::vector<StreamEvent> events;
+  Barrier barrier;
+  barrier.remaining = 1;
+  ShardTask task;
+  task.fn = [&events, &barrier, &item](StreamServer& server) {
+    events = server.Observe(item);
+    barrier.Arrive();
+  };
+  const auto result = shard.queue->Push(std::move(task), OverloadPolicy::kBlock,
+                                        /*sheddable=*/false,
+                                        /*shed_out=*/nullptr);
+  KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted);
+  barrier.Wait();
+  return events;
 }
 
 std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
     const std::vector<Item>& items) {
   const int num_shards = static_cast<int>(shards_.size());
-  if (num_shards == 1) {
-    // One shard: no routing, no copies — hand the batch straight through.
+  if (num_shards == 1 && !asynchronous()) {
+    // One shard, synchronous: no routing, no copies — hand the batch
+    // straight through.
     Shard& shard = *shards_[0];
+    shard.items_submitted.fetch_add(static_cast<int64_t>(items.size()),
+                                    std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard.mutex);
     return shard.server->ObserveBatch(items);
   }
@@ -65,35 +186,65 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
   for (const Item& item : items) {
     routed[ShardOf(item.key)].push_back(item);
   }
+  for (int s = 0; s < num_shards; ++s) {
+    shards_[s]->items_submitted.fetch_add(
+        static_cast<int64_t>(routed[s].size()), std::memory_order_relaxed);
+  }
 
   std::vector<std::vector<StreamEvent>> shard_events(num_shards);
-  auto serve_shard = [&](int s) {
-    Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard_events[s] = shard.server->ObserveBatch(routed[s]);
-  };
-  int active_shards = 0;
-  int last_active = -1;
-  for (int s = 0; s < num_shards; ++s) {
-    if (!routed[s].empty()) {
-      ++active_shards;
-      last_active = s;
+  if (asynchronous()) {
+    // Each sub-batch runs on its owning worker as a waited-on control
+    // task: synchronous semantics (events returned, nothing shed) with
+    // the workers providing the parallelism.
+    Barrier barrier;
+    barrier.remaining = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!routed[s].empty()) ++barrier.remaining;
     }
-  }
-  if (active_shards <= 1) {
-    // Entering ParallelFor would mark the thread as inside a parallel
-    // region and force the tensor kernels under Observe to run serial;
-    // with one busy shard there is nothing to fan out, so serve inline.
-    if (active_shards == 1) serve_shard(last_active);
+    if (barrier.remaining == 0) return {};
+    for (int s = 0; s < num_shards; ++s) {
+      if (routed[s].empty()) continue;
+      ShardTask task;
+      task.fn = [&shard_events, &barrier, s,
+                 batch = std::move(routed[s])](StreamServer& server) {
+        shard_events[s] = server.ObserveBatch(batch);
+        barrier.Arrive();
+      };
+      const auto result = shards_[s]->queue->Push(
+          std::move(task), OverloadPolicy::kBlock, /*sheddable=*/false,
+          /*shed_out=*/nullptr);
+      KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted);
+    }
+    barrier.Wait();
   } else {
-    // Fan out one chunk per shard. Model inference inside Observe may
-    // itself use ParallelFor; nested regions run inline, so this cannot
-    // deadlock.
-    ParallelFor(0, num_shards, /*grain=*/1, [&](int begin, int end) {
-      for (int s = begin; s < end; ++s) {
-        if (!routed[s].empty()) serve_shard(s);
+    auto serve_shard = [&](int s) {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard_events[s] = shard.server->ObserveBatch(routed[s]);
+    };
+    int active_shards = 0;
+    int last_active = -1;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!routed[s].empty()) {
+        ++active_shards;
+        last_active = s;
       }
-    });
+    }
+    if (active_shards <= 1) {
+      // Entering ParallelFor would mark the thread as inside a parallel
+      // region and force the tensor kernels under Observe to run serial;
+      // with one busy shard there is nothing to fan out, so serve inline.
+      if (active_shards == 1) serve_shard(last_active);
+    } else {
+      // Fan out one chunk per shard. Model inference inside Observe may
+      // itself use ParallelFor; nested regions run inline, so this cannot
+      // deadlock.
+      ParallelFor(0, num_shards, /*grain=*/1, [&](int begin, int end) {
+        for (int s = begin; s < end; ++s) {
+          if (!routed[s].empty()) serve_shard(s);
+        }
+      });
+    }
   }
 
   size_t total = 0;
@@ -106,45 +257,131 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
   return merged;
 }
 
+void ShardedStreamServer::Submit(const std::vector<Item>& items) {
+  const int num_shards = static_cast<int>(shards_.size());
+  std::vector<std::vector<Item>> routed(num_shards);
+  for (const Item& item : items) {
+    routed[ShardOf(item.key)].push_back(item);
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    if (routed[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const int64_t count = static_cast<int64_t>(routed[s].size());
+    shard.items_submitted.fetch_add(count, std::memory_order_relaxed);
+    if (!asynchronous()) {
+      std::vector<StreamEvent> events;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        events = shard.server->ObserveBatch(routed[s]);
+      }
+      if (config_.on_events) config_.on_events(s, events);
+      continue;
+    }
+    ShardTask task;
+    task.items = std::move(routed[s]);
+    std::vector<ShardTask> shed;
+    const auto result = shard.queue->Push(std::move(task),
+                                          config_.overload_policy,
+                                          /*sheddable=*/true, &shed);
+    switch (result) {
+      case BoundedQueue<ShardTask>::PushResult::kAccepted:
+        break;
+      case BoundedQueue<ShardTask>::PushResult::kShedNewest:
+        CountShed(&shard, 1, count);
+        break;
+      case BoundedQueue<ShardTask>::PushResult::kClosed:
+        // Shutdown raced the producer; the batch was never accepted, so
+        // account for it as shed rather than leaving it untracked.
+        CountShed(&shard, 1, count);
+        break;
+    }
+    for (const ShardTask& evicted : shed) {
+      CountShed(&shard, 1, static_cast<int64_t>(evicted.items.size()));
+    }
+  }
+}
+
+void ShardedStreamServer::Drain() {
+  if (!asynchronous()) return;
+  // A no-op control task per shard: FIFO order means everything enqueued
+  // before it — batches and queries alike — has been processed once it
+  // runs.
+  RunOnAllShards([](int, StreamServer&) {});
+}
+
 std::vector<StreamEvent> ShardedStreamServer::Flush() {
+  const int num_shards = static_cast<int>(shards_.size());
+  std::vector<std::vector<StreamEvent>> shard_events(num_shards);
+  RunOnAllShards([&shard_events](int s, StreamServer& server) {
+    shard_events[s] = server.Flush();
+  });
   std::vector<StreamEvent> merged;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    std::vector<StreamEvent> events = shard->server->Flush();
+  for (const auto& events : shard_events) {
     merged.insert(merged.end(), events.begin(), events.end());
   }
   return merged;
 }
 
+StreamServerStats ShardedStreamServer::SnapshotShardStats(int shard) const {
+  const Shard& s = *shards_[shard];
+  StreamServerStats stats = s.server->stats();  // caller holds the snapshot
+  stats.items_submitted = s.items_submitted.load(std::memory_order_relaxed);
+  stats.batches_shed = s.batches_shed.load(std::memory_order_relaxed);
+  stats.items_shed = s.items_shed.load(std::memory_order_relaxed);
+  return stats;
+}
+
 StreamServerStats ShardedStreamServer::stats() const {
+  const int num_shards = static_cast<int>(shards_.size());
+  std::vector<StreamServerStats> per_shard(num_shards);
+  if (!asynchronous()) {
+    // Coherent cross-shard snapshot: take EVERY shard mutex (in index
+    // order — the only multi-mutex acquisition in this class, so no
+    // ordering cycle exists), then copy. No shard can be mid-batch, and
+    // no sharded ObserveBatch can be half-merged across the copies.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      locks.emplace_back(shards_[s]->mutex);
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      per_shard[s] = SnapshotShardStats(s);
+    }
+  } else {
+    // Each shard answers on its owning worker at a batch boundary, so a
+    // shard's counters always partition (stats snapshots route through
+    // the task queue, behind every batch enqueued before this call).
+    RunOnAllShards([this, &per_shard](int s, StreamServer&) {
+      per_shard[s] = SnapshotShardStats(s);
+    });
+  }
   StreamServerStats merged;
   merged.windows_started = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    const StreamServerStats& s = shard->server->stats();
-    merged.items_processed += s.items_processed;
-    merged.sequences_classified += s.sequences_classified;
-    merged.policy_halts += s.policy_halts;
-    merged.idle_timeouts += s.idle_timeouts;
-    merged.capacity_evictions += s.capacity_evictions;
-    merged.rotation_classifications += s.rotation_classifications;
-    merged.flush_classifications += s.flush_classifications;
-    merged.windows_started += s.windows_started;
-    if (merged.class_counts.size() < s.class_counts.size()) {
-      merged.class_counts.resize(s.class_counts.size(), 0);
-    }
-    for (size_t c = 0; c < s.class_counts.size(); ++c) {
-      merged.class_counts[c] += s.class_counts[c];
-    }
-  }
+  for (const StreamServerStats& stats : per_shard) merged.Merge(stats);
   return merged;
 }
 
 StreamServerStats ShardedStreamServer::shard_stats(int shard) const {
   KVEC_CHECK_GE(shard, 0);
   KVEC_CHECK_LT(shard, static_cast<int>(shards_.size()));
-  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-  return shards_[shard]->server->stats();
+  if (!asynchronous()) {
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return SnapshotShardStats(shard);
+  }
+  StreamServerStats stats;
+  Barrier barrier;
+  barrier.remaining = 1;
+  ShardTask task;
+  task.fn = [this, &stats, &barrier, shard](StreamServer&) {
+    stats = SnapshotShardStats(shard);
+    barrier.Arrive();
+  };
+  const auto result = shards_[shard]->queue->Push(
+      std::move(task), OverloadPolicy::kBlock, /*sheddable=*/false,
+      /*shed_out=*/nullptr);
+  KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted);
+  barrier.Wait();
+  return stats;
 }
 
 Checkpoint ShardedStreamServer::BuildCheckpoint() const {
@@ -155,12 +392,17 @@ Checkpoint ShardedStreamServer::BuildCheckpoint() const {
     checkpoint.sections.push_back(
         {kCheckpointSectionShardManifest, manifest.buffer()});
   }
+  // Each shard snapshots on its owner (async: behind everything already
+  // queued — drain-then-snapshot; sync: under its mutex). Cross-shard
+  // consistency is the caller's quiesce protocol, as documented.
+  std::vector<BinaryWriter> writers(shards_.size());
+  RunOnAllShards([&writers](int s, StreamServer& server) {
+    writers[s].WriteInt32(static_cast<int32_t>(s));
+    server.Snapshot(&writers[s]);
+  });
   for (size_t s = 0; s < shards_.size(); ++s) {
-    BinaryWriter writer;
-    writer.WriteInt32(static_cast<int32_t>(s));
-    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-    shards_[s]->server->Snapshot(&writer);
-    checkpoint.sections.push_back({kCheckpointSectionShard, writer.buffer()});
+    checkpoint.sections.push_back({kCheckpointSectionShard,
+                                   writers[s].buffer()});
   }
   return checkpoint;
 }
@@ -176,7 +418,8 @@ bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
     return false;
   }
 
-  // Stage every shard before swapping any in.
+  // Stage every shard before swapping any in. Staging touches no live
+  // shard state, so it runs on the calling thread in both modes.
   std::vector<std::unique_ptr<StreamServer>> staged(shards_.size());
   for (const CheckpointSection& section : checkpoint.sections) {
     if (section.id != kCheckpointSectionShard) continue;
@@ -193,10 +436,19 @@ bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
     if (server == nullptr) return false;  // a shard section is missing
   }
 
+  // All-or-nothing commit. Re-baseline the transport counters to the
+  // restored items_processed so the overload invariant (submitted ==
+  // processed + shed) holds for the life of the restored server.
+  std::vector<int64_t> processed(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-    shards_[s]->server = std::move(staged[s]);
+    processed[s] = staged[s]->stats().items_processed;
   }
+  RunOnAllShards([this, &staged, &processed](int s, StreamServer&) {
+    shards_[s]->server = std::move(staged[s]);
+    shards_[s]->items_submitted.store(processed[s], std::memory_order_relaxed);
+    shards_[s]->batches_shed.store(0, std::memory_order_relaxed);
+    shards_[s]->items_shed.store(0, std::memory_order_relaxed);
+  });
   return true;
 }
 
@@ -222,10 +474,19 @@ bool ShardedStreamServer::LoadCheckpoint(const std::string& path) {
 
 int ShardedStreamServer::open_keys() const {
   int total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->server->open_keys();
+  if (!asynchronous()) {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->server->open_keys();
+    }
+    return total;
   }
+  std::mutex merge_mutex;
+  RunOnAllShards([&total, &merge_mutex](int, StreamServer& server) {
+    const int keys = server.open_keys();
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    total += keys;
+  });
   return total;
 }
 

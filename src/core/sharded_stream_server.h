@@ -3,20 +3,33 @@
 // One StreamServer is inherently serial — every item mutates one engine,
 // one open-key map, one stats block. ShardedStreamServer partitions the
 // key space across `num_shards` independent shards, each owning a full
-// StreamServer (engine + open-key state + stats) behind a per-shard mutex:
+// StreamServer (engine + open-key state + stats), in one of two execution
+// modes:
 //
-//   * throughput — items of different shards are served in parallel;
-//     ObserveBatch fans a batch out across shards on the global ThreadPool
-//     (one contiguous microbatch per shard), and concurrent callers of
-//     Observe/ObserveBatch only contend when their keys hash to the same
-//     shard.
-//   * memory bounds — each shard's engine tracks ~1/num_shards of the open
-//     keys, so per-engine caches and visibility sets shrink
-//     proportionally. (Before the correlation tracker grew its inverted
-//     index, this also made sharding faster single-threaded by shrinking
-//     the per-item session scan; with the indexed tracker the scan is gone
-//     and single-core throughput peaks at 1 shard — sharding is now purely
-//     a parallelism and isolation tool. See bench/micro_pipeline.cc.)
+//   * synchronous (worker_threads = 0, the default) — callers run the
+//     shard engines in place, serialized on a per-shard mutex;
+//     ObserveBatch fans a batch out across shards on the global
+//     ThreadPool. Deterministic and byte-identical to the historical
+//     behavior: the replay/golden/equivalence tests run this mode.
+//   * shard-owned workers (worker_threads = num_shards) — each shard owns
+//     one worker thread plus a bounded MPSC task queue
+//     (util/bounded_queue.h). ALL shard-state mutation happens on the
+//     owning worker, so the hot update path takes no shard lock; queries
+//     (stats, flush, checkpoint snapshot) route to the owning shard as
+//     control tasks and are answered at a batch boundary, never mid-batch.
+//     Overload is a first-class condition: when a shard's queue is full,
+//     `overload_policy` decides whether the producer blocks
+//     (backpressure), the new batch is dropped, or the oldest queued batch
+//     is dropped — every dropped batch/item is counted in the
+//     batches_shed/items_shed stats, never lost silently.
+//
+// Async ingest has two shapes. `Submit` is fire-and-forget: it routes the
+// batch, enqueues per-shard sub-batches under the overload policy, and
+// returns immediately; events surface through `config.on_events` on the
+// worker threads. `Observe`/`ObserveBatch`/`Flush` keep their synchronous
+// signatures in both modes — in async mode they run as control tasks the
+// caller waits on, so their event sequences match the synchronous mode
+// exactly (they bypass the overload policy; only Submit can shed).
 //
 // The trade-off, stated once here and assumed everywhere: cross-shard
 // value correlations are cut. Two keys that hash to different shards never
@@ -34,17 +47,36 @@
 #ifndef KVEC_CORE_SHARDED_STREAM_SERVER_H_
 #define KVEC_CORE_SHARDED_STREAM_SERVER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stream_server.h"
+#include "util/bounded_queue.h"
 
 namespace kvec {
 
 struct ShardedStreamServerConfig {
   int num_shards = 8;
+  // 0 = synchronous mode; num_shards = one owned worker thread per shard.
+  // Other values are rejected (the model is one worker per shard — scale
+  // workers by scaling shards).
+  int worker_threads = 0;
+  // Per-shard bounded task-queue capacity, in tasks (async mode only).
+  int queue_depth = 256;
+  // What a full shard queue does to a Submit batch (async mode only).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  // Event sink for Submit-ingested batches. Async mode: invoked on the
+  // owning worker thread after each processed batch, concurrently across
+  // shards — the sink must be thread-safe. Sync mode: invoked inline from
+  // Submit. Events returned by Observe/ObserveBatch/Flush do NOT pass
+  // through the sink (the caller already holds them).
+  std::function<void(int shard, const std::vector<StreamEvent>& events)>
+      on_events;
   // Per-shard bounds, applied to each shard's StreamServer independently.
   StreamServerConfig shard;
 };
@@ -52,61 +84,117 @@ struct ShardedStreamServerConfig {
 class ShardedStreamServer {
  public:
   // `model` must be trained and outlive the server. Builds `num_shards`
-  // independent engines.
+  // independent engines and, in async mode, starts the shard workers.
   ShardedStreamServer(const KvecModel& model,
                       const ShardedStreamServerConfig& config);
+
+  // Graceful shutdown: closes the queues, drains every already-accepted
+  // task, then joins the workers. Accepted work is never dropped.
+  ~ShardedStreamServer();
+
+  ShardedStreamServer(const ShardedStreamServer&) = delete;
+  ShardedStreamServer& operator=(const ShardedStreamServer&) = delete;
 
   // The shard an item with this key is routed to (deterministic hash).
   int ShardOf(int key) const;
 
-  // Routes the item to its shard and serves it there. Thread-safe: callers
-  // on different shards proceed in parallel, same-shard callers serialize
-  // on the shard mutex.
+  // Synchronous-semantics ingest: returns the item's events. Thread-safe
+  // in both modes; in async mode it rides the task queue as a waited-on
+  // control task (never shed).
   std::vector<StreamEvent> Observe(const Item& item);
 
-  // Batched ingest: fans `items` out to their shards via the global
-  // ThreadPool, handing each shard its sub-batch as one contiguous
-  // microbatch (StreamServer::ObserveBatch — arrival order within the
-  // shard preserved, encoder projections batched through GEMM). Returned
-  // events are grouped by shard (shard 0's events first), in emission
-  // order within a shard. Thread-safe.
+  // Batched ingest with synchronous semantics: fans `items` out to their
+  // shards (sync mode: global ThreadPool; async mode: the shard workers),
+  // handing each shard its sub-batch as one contiguous microbatch
+  // (StreamServer::ObserveBatch — arrival order within the shard
+  // preserved, encoder projections batched through GEMM). Returned events
+  // are grouped by shard (shard 0's events first), in emission order
+  // within a shard. Thread-safe; never shed.
   std::vector<StreamEvent> ObserveBatch(const std::vector<Item>& items);
 
-  // Force-classifies all still-open keys on every shard.
+  // Fire-and-forget ingest, the overload-policy path. Routes `items` and
+  // enqueues one sub-batch per shard under `overload_policy`:
+  //   kBlock      — waits for queue space (backpressure);
+  //   kShedNewest — a full queue drops the incoming sub-batch;
+  //   kShedOldest — a full queue drops its oldest queued batch instead.
+  // Every accepted item is eventually processed (visible via on_events and
+  // stats); every dropped one is counted. After Drain() the overload
+  // invariant holds: items_submitted == items_processed + items_shed.
+  // Sync mode: runs inline (nothing to shed) with events to on_events.
+  void Submit(const std::vector<Item>& items);
+
+  // Blocks until every task enqueued before this call has been processed.
+  // Sync mode: no-op. Does not stop concurrent producers — quiescing is
+  // the caller's protocol (stop submitting, then Drain).
+  void Drain();
+
+  // Force-classifies all still-open keys on every shard (waited-on control
+  // task in async mode; drains each shard's queue first by FIFO order).
   std::vector<StreamEvent> Flush();
 
   // Merged view across shards: counters and class_counts are summed;
-  // windows_started is the total across shards (each shard starts at 1).
+  // windows_started is the total across shards (each shard starts at 1);
+  // items_submitted/batches_shed/items_shed aggregate the transport-layer
+  // counters. The snapshot is coherent: sync mode holds ALL shard mutexes
+  // while copying (no shard can be mid-batch); async mode answers through
+  // each shard's task queue at a batch boundary.
   StreamServerStats stats() const;
 
-  // One shard's own stats (copied under its mutex).
+  // One shard's own stats (same snapshot discipline as stats()).
   StreamServerStats shard_stats(int shard) const;
 
   int open_keys() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool asynchronous() const { return config_.worker_threads > 0; }
 
   // ---- Checkpoint / warm restart (docs/SERVING.md). ----
   //
   // The checkpoint is a manifest section (shard count — restore fails on a
   // mismatch, since the key hash routes by shard count) plus one section
-  // per shard holding that shard's full StreamServer snapshot. Each shard
-  // is snapshotted under its own mutex; for a cross-shard-consistent
-  // checkpoint, quiesce ingest first (concurrent Observe calls would land
-  // in some shards' snapshots and not others).
+  // per shard holding that shard's full StreamServer snapshot. Sync mode
+  // snapshots each shard under its mutex; async mode snapshots on the
+  // owning worker behind everything already queued (quiesce =
+  // drain-then-snapshot per shard). For a cross-shard-consistent
+  // checkpoint, stop submitting first (concurrent ingest would land in
+  // some shards' snapshots and not others).
   //
   // Restore stages every shard in a fresh StreamServer and swaps all of
   // them in only when the whole checkpoint parsed — a corrupt byte in any
-  // shard leaves the server untouched.
+  // shard leaves the server untouched. Restore also re-baselines the
+  // transport counters (items_submitted := restored items_processed, shed
+  // counters zeroed) so the overload invariant keeps holding after a warm
+  // restart.
   std::string EncodeCheckpoint() const;
   bool RestoreCheckpoint(const std::string& bytes);
   bool SaveCheckpoint(const std::string& path) const;
   bool LoadCheckpoint(const std::string& path);
 
  private:
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unique_ptr<StreamServer> server;  // guarded by mutex
+  // One queue entry: an item batch (fn empty) or a control task.
+  struct ShardTask {
+    std::vector<Item> items;
+    std::function<void(StreamServer&)> fn;
   };
+
+  struct Shard {
+    mutable std::mutex mutex;              // sync mode: guards server
+    std::unique_ptr<StreamServer> server;  // mutated only by its owner
+    std::unique_ptr<BoundedQueue<ShardTask>> queue;  // async mode only
+    std::thread worker;                              // async mode only
+    // Transport-layer counters. Producers bump submitted/shed (Submit may
+    // shed on the producer thread); stats snapshots read them.
+    std::atomic<int64_t> items_submitted{0};
+    std::atomic<int64_t> batches_shed{0};
+    std::atomic<int64_t> items_shed{0};
+  };
+
+  void WorkerLoop(Shard* shard, int shard_index);
+  // Posts `fn` to every shard (async: non-sheddable control task; sync:
+  // runs under the shard mutex) and blocks until all shards ran it.
+  void RunOnAllShards(const std::function<void(int, StreamServer&)>& fn) const;
+  // Charges `count` dropped items against `shard`'s shed counters.
+  static void CountShed(Shard* shard, int64_t batches, int64_t items);
+  StreamServerStats SnapshotShardStats(int shard) const;
 
   // Shared bodies of the four checkpoint entry points.
   Checkpoint BuildCheckpoint() const;

@@ -5,6 +5,26 @@
 
 namespace kvec {
 
+void StreamServerStats::Merge(const StreamServerStats& other) {
+  items_processed += other.items_processed;
+  sequences_classified += other.sequences_classified;
+  policy_halts += other.policy_halts;
+  idle_timeouts += other.idle_timeouts;
+  capacity_evictions += other.capacity_evictions;
+  rotation_classifications += other.rotation_classifications;
+  flush_classifications += other.flush_classifications;
+  windows_started += other.windows_started;
+  if (class_counts.size() < other.class_counts.size()) {
+    class_counts.resize(other.class_counts.size(), 0);
+  }
+  for (size_t c = 0; c < other.class_counts.size(); ++c) {
+    class_counts[c] += other.class_counts[c];
+  }
+  items_submitted += other.items_submitted;
+  batches_shed += other.batches_shed;
+  items_shed += other.items_shed;
+}
+
 StreamServer::StreamServer(const KvecModel& model,
                            const StreamServerConfig& config)
     : model_(model),
@@ -184,6 +204,10 @@ void StreamServer::Snapshot(BinaryWriter* writer) const {
   writer->WriteInt32(stats_.windows_started);
   writer->WriteInt32(static_cast<int32_t>(stats_.class_counts.size()));
   for (int64_t count : stats_.class_counts) writer->WriteInt64(count);
+  // The transport-layer counters (items_submitted / batches_shed /
+  // items_shed) are intentionally absent: they belong to the sharded
+  // ingest layer's process lifetime, not to serving state, and leaving
+  // them out keeps the v1 snapshot layout byte-identical.
 
   writer->WriteInt32(static_cast<int32_t>(open_.size()));
   for (const auto& [key, state] : open_) {  // std::map: canonical order

@@ -99,6 +99,23 @@ struct StreamServerStats {
   int64_t flush_classifications = 0;
   int windows_started = 1;
   std::vector<int64_t> class_counts;  // predictions per class
+
+  // ---- Transport-layer (submission/overload) counters. ----
+  //
+  // Maintained by ShardedStreamServer's ingest layer, not by the serving
+  // loop: a bare StreamServer leaves them 0, and they are deliberately NOT
+  // part of the checkpoint snapshot (they describe the life of a process,
+  // not serving state — and the v1 golden layout stays byte-identical).
+  // Within one server lifetime the overload invariant holds:
+  //   items_submitted == items_processed + items_shed.
+  int64_t items_submitted = 0;  // items offered to Observe/ObserveBatch/Submit
+  int64_t batches_shed = 0;     // batches dropped by a shed overload policy
+  int64_t items_shed = 0;       // items inside those dropped batches
+
+  // Accumulates `other` into this view: counters and class_counts are
+  // summed (class_counts widened as needed); windows_started adds up, so
+  // start a merged view from windows_started = 0.
+  void Merge(const StreamServerStats& other);
 };
 
 class StreamServer {

@@ -1,0 +1,33 @@
+#include "util/bounded_queue.h"
+
+namespace kvec {
+
+bool ParseOverloadPolicy(const std::string& text, OverloadPolicy* policy) {
+  if (text == "block") {
+    *policy = OverloadPolicy::kBlock;
+    return true;
+  }
+  if (text == "shed-newest") {
+    *policy = OverloadPolicy::kShedNewest;
+    return true;
+  }
+  if (text == "shed-oldest") {
+    *policy = OverloadPolicy::kShedOldest;
+    return true;
+  }
+  return false;
+}
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedNewest:
+      return "shed-newest";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "unknown";
+}
+
+}  // namespace kvec

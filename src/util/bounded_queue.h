@@ -1,0 +1,151 @@
+// A bounded multi-producer task queue with explicit overload policies.
+//
+// The shard-owned-worker serving model (core/sharded_stream_server.h) puts
+// a queue between producers (callers submitting item batches) and one
+// consumer (the shard's worker thread). The queue is where overload becomes
+// a *defined* condition instead of an accident: when it is full, the
+// configured OverloadPolicy decides whether the producer waits, the new
+// batch is dropped, or the oldest queued batch is dropped — and every drop
+// is counted by the caller via the entries this API hands back, never
+// silent.
+//
+// Entries carry a `sheddable` bit. Only sheddable entries participate in
+// shedding; control entries (stats snapshots, checkpoint tasks, drain
+// barriers) are pushed with OverloadPolicy::kBlock and can neither be
+// rejected nor evicted, so a saturated queue delays queries but never
+// loses them.
+//
+// Implementation is a mutex + two condition variables over a deque:
+// deliberately boring, so the concurrency story is auditable and
+// ThreadSanitizer-clean. The push path fires the "bounded_queue.push"
+// fault-injection point (util/fault_injection.h) before taking the lock,
+// letting tests widen producer/consumer races deterministically.
+#ifndef KVEC_UTIL_BOUNDED_QUEUE_H_
+#define KVEC_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace kvec {
+
+// What a full queue does to a new sheddable entry.
+enum class OverloadPolicy {
+  kBlock,       // producer waits for space (backpressure)
+  kShedNewest,  // reject the incoming entry
+  kShedOldest,  // evict the oldest sheddable entry, accept the new one
+};
+
+// "block" | "shed-newest" | "shed-oldest" (the CLI flag spellings).
+bool ParseOverloadPolicy(const std::string& text, OverloadPolicy* policy);
+const char* OverloadPolicyName(OverloadPolicy policy);
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult {
+    kAccepted,    // entry is in the queue
+    kShedNewest,  // full under kShedNewest: entry was rejected
+    kClosed,      // Close() already ran; entry was rejected
+  };
+
+  explicit BoundedQueue(int capacity) : capacity_(capacity) {
+    KVEC_CHECK_GT(capacity, 0);
+  }
+
+  // Pushes `value` under `policy`. `sheddable` marks entries a kShedOldest
+  // push may evict (and a kShedNewest full queue may reject); control
+  // entries pass false and should use kBlock. Entries evicted by
+  // kShedOldest are appended to `shed_out` (may be null only if the caller
+  // can prove no eviction happens) so the producer can account for every
+  // dropped payload. Thread-safe.
+  PushResult Push(T value, OverloadPolicy policy, bool sheddable,
+                  std::vector<T>* shed_out) {
+    // Delay point: tests widen the route-to-enqueue window here (not a
+    // failable site, so the verdict is ignored).
+    (void)KVEC_FAULT_POINT("bounded_queue.push");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (entries_.size() >= capacity_) {
+      if (sheddable && policy == OverloadPolicy::kShedNewest) {
+        return PushResult::kShedNewest;
+      }
+      if (sheddable && policy == OverloadPolicy::kShedOldest) {
+        // Evict the oldest sheddable entry. If every queued entry is a
+        // control task (possible only under pathological queue depths),
+        // fall through to blocking: control tasks are never shed.
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+          if (it->sheddable) {
+            shed_out->push_back(std::move(it->value));
+            entries_.erase(it);
+            entries_.push_back({std::move(value), sheddable});
+            return PushResult::kAccepted;
+          }
+        }
+      }
+      not_full_.wait(lock, [this]() {
+        return closed_ || entries_.size() < capacity_;
+      });
+      if (closed_) return PushResult::kClosed;
+    }
+    entries_.push_back({std::move(value), sheddable});
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  // Blocks until an entry is available or the queue is closed *and* empty.
+  // Returns false only in the latter case: a closed queue still drains, so
+  // shutdown never loses accepted work.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this]() { return closed_ || !entries_.empty(); });
+    if (entries_.empty()) return false;
+    *out = std::move(entries_.front().value);
+    entries_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // After Close, pushes fail with kClosed and Pop drains what was already
+  // accepted, then returns false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  int capacity() const { return static_cast<int>(capacity_); }
+
+ private:
+  struct Entry {
+    T value;
+    bool sheddable = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;  // signalled by Push
+  std::condition_variable not_full_;   // signalled by Pop / Close
+  std::deque<Entry> entries_;          // guarded by mutex_
+  size_t capacity_;
+  bool closed_ = false;  // guarded by mutex_
+};
+
+}  // namespace kvec
+
+#endif  // KVEC_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,83 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace kvec {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FaultInjection::Hook> hooks;  // guarded by mutex
+  std::map<std::string, int64_t> fires;               // guarded by mutex
+};
+
+// Leaked on purpose: points may be crossed during static teardown.
+Registry& GetRegistry() {
+  static auto* registry = new Registry();
+  return *registry;
+}
+
+// Mirrors hooks.size(); lets ArmedAny stay a single relaxed load.
+std::atomic<int> g_armed_count{0};
+
+}  // namespace
+
+void FaultInjection::Arm(const std::string& point, Hook hook) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.hooks.emplace(point, std::move(hook));
+  if (!inserted) {
+    it->second = std::move(hook);
+  } else {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.hooks.erase(point) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed_count.fetch_sub(static_cast<int>(registry.hooks.size()),
+                          std::memory_order_relaxed);
+  registry.hooks.clear();
+}
+
+int64_t FaultInjection::FireCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.fires.find(point);
+  return it == registry.fires.end() ? 0 : it->second;
+}
+
+bool FaultInjection::ArmedAny() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+bool FaultInjection::Fire(const char* point) {
+  Hook hook;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.hooks.find(point);
+    if (it == registry.hooks.end()) return false;
+    hook = it->second;  // copy: the hook runs outside the lock below
+    ++registry.fires[point];
+  }
+  // Outside the lock: a hook that blocks (a stall) must not wedge
+  // Arm/Disarm/Fire on other threads or points.
+  return hook(point);
+}
+
+}  // namespace kvec

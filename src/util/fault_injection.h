@@ -1,0 +1,72 @@
+// Deterministic fault injection for the concurrent serving path.
+//
+// Concurrency bugs hide in interleavings that free-running tests almost
+// never produce: a worker stalled mid-batch while its queue saturates, a
+// producer delayed between routing and pushing, a checkpoint write failing
+// halfway through shutdown. This layer lets tests *force* those states.
+//
+// A call site names a point:
+//
+//   if (KVEC_FAULT_POINT("checkpoint.save")) return false;   // failable
+//   KVEC_FAULT_POINT("shard_worker.batch");                  // stall hook
+//
+// and a test arms a hook by name:
+//
+//   FaultInjection::Arm("shard_worker.batch", [&](const char*) {
+//     latch.Wait();   // hold the worker here while the test fills queues
+//     return false;   // no failure injected, just the stall
+//   });
+//
+// A hook returns true to make a *failable* point report failure (the call
+// site decides what failure means — e.g. CheckpointSave returns false);
+// stall/delay hooks block inside the hook and return false. Hooks run on
+// the thread that hit the point, outside the registry lock, so a hook may
+// block indefinitely without wedging Arm/Disarm on other threads.
+//
+// Cost when nothing is armed: one relaxed atomic load. Define
+// KVEC_NO_FAULT_INJECTION to compile every point out entirely for
+// zero-cost release builds; the default build keeps them so the stock
+// test suite (and TSan CI job) can exercise the overload paths.
+#ifndef KVEC_UTIL_FAULT_INJECTION_H_
+#define KVEC_UTIL_FAULT_INJECTION_H_
+
+#include <functional>
+#include <string>
+
+namespace kvec {
+
+class FaultInjection {
+ public:
+  // Receives the point name; returns true to inject failure there.
+  using Hook = std::function<bool(const char* point)>;
+
+  // Installs `hook` for `point`, replacing any existing hook. Arming while
+  // other threads are mid-flight is safe; they pick the hook up on their
+  // next point crossing.
+  static void Arm(const std::string& point, Hook hook);
+  static void Disarm(const std::string& point);
+  // Tests should DisarmAll() in teardown so points never leak across tests.
+  static void DisarmAll();
+
+  // How many times an armed hook at `point` has fired (0 if never armed).
+  static int64_t FireCount(const std::string& point);
+
+  // Fast guard: false unless at least one hook is armed anywhere.
+  static bool ArmedAny();
+  // Slow path: looks up `point`, fires its hook if armed. Returns the
+  // hook's verdict (true = inject failure), false when unarmed.
+  static bool Fire(const char* point);
+};
+
+#ifdef KVEC_NO_FAULT_INJECTION
+#define KVEC_FAULT_POINT(point) (false)
+#else
+// Evaluates to true when an armed hook asks the call site to fail.
+#define KVEC_FAULT_POINT(point)         \
+  (::kvec::FaultInjection::ArmedAny() && \
+   ::kvec::FaultInjection::Fire(point))
+#endif
+
+}  // namespace kvec
+
+#endif  // KVEC_UTIL_FAULT_INJECTION_H_

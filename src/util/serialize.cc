@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fault_injection.h"
+
 namespace kvec {
 namespace {
 
@@ -266,6 +268,9 @@ bool CheckpointDecode(const std::string& bytes, Checkpoint* out) {
 }
 
 bool CheckpointSave(const std::string& path, const Checkpoint& checkpoint) {
+  // Tests force the disk-full / yanked-volume shape here; callers must
+  // treat a false as "no checkpoint exists at `path`".
+  if (KVEC_FAULT_POINT("checkpoint.save")) return false;
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   const std::string bytes = CheckpointEncode(checkpoint);

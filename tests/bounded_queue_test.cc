@@ -1,0 +1,227 @@
+// BoundedQueue: overload policies, the sheddable bit, close/drain
+// semantics, and the blocking paths (exercised with real threads).
+#include "util/bounded_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace kvec {
+namespace {
+
+using Queue = BoundedQueue<int>;
+using Result = Queue::PushResult;
+
+TEST(OverloadPolicyTest, ParsesTheCliSpellings) {
+  OverloadPolicy policy = OverloadPolicy::kShedOldest;
+  EXPECT_TRUE(ParseOverloadPolicy("block", &policy));
+  EXPECT_EQ(policy, OverloadPolicy::kBlock);
+  EXPECT_TRUE(ParseOverloadPolicy("shed-newest", &policy));
+  EXPECT_EQ(policy, OverloadPolicy::kShedNewest);
+  EXPECT_TRUE(ParseOverloadPolicy("shed-oldest", &policy));
+  EXPECT_EQ(policy, OverloadPolicy::kShedOldest);
+  EXPECT_FALSE(ParseOverloadPolicy("drop", &policy));
+  EXPECT_FALSE(ParseOverloadPolicy("", &policy));
+  EXPECT_STREQ(OverloadPolicyName(OverloadPolicy::kBlock), "block");
+  EXPECT_STREQ(OverloadPolicyName(OverloadPolicy::kShedNewest), "shed-newest");
+  EXPECT_STREQ(OverloadPolicyName(OverloadPolicy::kShedOldest), "shed-oldest");
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  Queue queue(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(queue.Push(i, OverloadPolicy::kBlock, true, nullptr),
+              Result::kAccepted);
+  }
+  EXPECT_EQ(queue.size(), 4u);
+  int value = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, ShedNewestRejectsTheIncomingEntry) {
+  Queue queue(2);
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kShedNewest, true, nullptr),
+            Result::kAccepted);
+  ASSERT_EQ(queue.Push(1, OverloadPolicy::kShedNewest, true, nullptr),
+            Result::kAccepted);
+  EXPECT_EQ(queue.Push(2, OverloadPolicy::kShedNewest, true, nullptr),
+            Result::kShedNewest);
+  // The queue still holds the two oldest entries, untouched.
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 0);
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+}
+
+TEST(BoundedQueueTest, ShedOldestEvictsIntoShedOut) {
+  Queue queue(2);
+  std::vector<int> shed;
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kShedOldest, true, &shed),
+            Result::kAccepted);
+  ASSERT_EQ(queue.Push(1, OverloadPolicy::kShedOldest, true, &shed),
+            Result::kAccepted);
+  EXPECT_EQ(queue.Push(2, OverloadPolicy::kShedOldest, true, &shed),
+            Result::kAccepted);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], 0);  // oldest evicted, every drop handed back
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(BoundedQueueTest, ShedOldestSkipsControlEntries) {
+  Queue queue(2);
+  std::vector<int> shed;
+  // A control entry (sheddable=false) at the head must survive eviction:
+  // the oldest *sheddable* entry goes instead.
+  ASSERT_EQ(queue.Push(100, OverloadPolicy::kBlock, false, nullptr),
+            Result::kAccepted);
+  ASSERT_EQ(queue.Push(1, OverloadPolicy::kShedOldest, true, &shed),
+            Result::kAccepted);
+  EXPECT_EQ(queue.Push(2, OverloadPolicy::kShedOldest, true, &shed),
+            Result::kAccepted);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], 1);
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 100);
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(BoundedQueueTest, NonSheddableEntriesIgnoreShedPolicies) {
+  // Control pushes pass sheddable=false; even under a shed policy a full
+  // queue must make them wait, not drop them. A consumer thread frees one
+  // slot after a delay; the push must land.
+  Queue queue(1);
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kBlock, true, nullptr),
+            Result::kAccepted);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&]() {
+    EXPECT_EQ(queue.Push(1, OverloadPolicy::kShedNewest, false, nullptr),
+              Result::kAccepted);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still blocked: the queue is full
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+}
+
+TEST(BoundedQueueTest, BlockPolicyWaitsForSpace) {
+  Queue queue(1);
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kBlock, true, nullptr),
+            Result::kAccepted);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&]() {
+    EXPECT_EQ(queue.Push(1, OverloadPolicy::kBlock, true, nullptr),
+              Result::kAccepted);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  producer.join();
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+}
+
+TEST(BoundedQueueTest, CloseDrainsAcceptedWorkThenStopsPop) {
+  Queue queue(4);
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kBlock, true, nullptr),
+            Result::kAccepted);
+  ASSERT_EQ(queue.Push(1, OverloadPolicy::kBlock, true, nullptr),
+            Result::kAccepted);
+  queue.Close();
+  EXPECT_EQ(queue.Push(2, OverloadPolicy::kBlock, true, nullptr),
+            Result::kClosed);
+  int value = -1;
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 0);
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_FALSE(queue.Pop(&value));  // closed and empty: consumer exits
+}
+
+TEST(BoundedQueueTest, CloseWakesABlockedProducer) {
+  Queue queue(1);
+  ASSERT_EQ(queue.Push(0, OverloadPolicy::kBlock, true, nullptr),
+            Result::kAccepted);
+  std::atomic<bool> returned{false};
+  std::thread producer([&]() {
+    EXPECT_EQ(queue.Push(1, OverloadPolicy::kBlock, true, nullptr),
+              Result::kClosed);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, CloseWakesABlockedConsumer) {
+  Queue queue(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&]() {
+    int value = -1;
+    EXPECT_FALSE(queue.Pop(&value));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerLosesNothing) {
+  // Every accepted push must come out exactly once; kBlock never sheds, so
+  // accepted == offered.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  Queue queue(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(queue.Push(p * kPerProducer + i, OverloadPolicy::kBlock,
+                             true, nullptr),
+                  Result::kAccepted);
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&]() {
+    int value = -1;
+    while (queue.Pop(&value)) seen.push_back(value);
+  });
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::vector<bool> present(kProducers * kPerProducer, false);
+  for (int value : seen) {
+    ASSERT_FALSE(present[value]) << "value " << value << " popped twice";
+    present[value] = true;
+  }
+}
+
+}  // namespace
+}  // namespace kvec

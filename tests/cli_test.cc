@@ -11,6 +11,7 @@
 // regenerate with:
 //   KVEC_REGEN_GOLDEN=1 ./cli_test --gtest_filter='*EvalJsonGolden*'
 // (writes the golden next to the source tree via KVEC_TEST_DATA_DIR).
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "cli/model_io.h"
 #include "cli/subcommands.h"
 #include "gtest/gtest.h"
+#include "util/fault_injection.h"
 
 namespace kvec {
 namespace cli {
@@ -314,6 +316,68 @@ TEST(CliGolden, BundleRoundTripsAndInspects) {
 
   CliResult corrupt = RunCli({"checkpoint", "--inspect", "cli_test_nonexistent"});
   EXPECT_EQ(corrupt.code, 1);
+}
+
+// ---- kvec serve: shard workers, overload flags, graceful interrupt -------
+
+TEST(CliServe, WorkersModeReportsOverloadCounters) {
+  CliResult result =
+      RunCli({"serve", "--workers", "2", "--queue-depth", "8",
+              "--overload-policy", "shed-newest", "--json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"workers\": 2"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("\"overload\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"items_submitted\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"overload_policy\": \"shed-newest\""),
+            std::string::npos);
+  EXPECT_NE(result.out.find("\"queue_depth\": 8"), std::string::npos);
+}
+
+TEST(CliServe, WorkersShardsConflictAndBadPolicyAreUsageErrors) {
+  CliResult mismatch = RunCli({"serve", "--workers", "2", "--shards", "4"});
+  EXPECT_EQ(mismatch.code, 2);
+  EXPECT_NE(mismatch.err.find("--workers must equal --shards"),
+            std::string::npos)
+      << mismatch.err;
+
+  CliResult policy = RunCli({"serve", "--overload-policy", "drop"});
+  EXPECT_EQ(policy.code, 2);
+  EXPECT_NE(policy.err.find("block|shed-newest|shed-oldest"),
+            std::string::npos)
+      << policy.err;
+
+  CliResult depth = RunCli({"serve", "--workers", "1", "--queue-depth", "0"});
+  EXPECT_EQ(depth.code, 2);
+}
+
+TEST(CliServe, InterruptDrainsReportsAndStillSavesTheCheckpoint) {
+  // Simulates Ctrl-C mid-replay: the "serve.batch" point fires at every
+  // batch boundary, and after two batches the hook requests an interrupt
+  // exactly as the SIGINT handler would. Serve must stop at the next
+  // boundary, drain the shard queues, print the per-shard report, honor
+  // --save-checkpoint, and exit 130.
+  const std::string checkpoint = "cli_test_interrupt.ckpt";
+  std::filesystem::remove(checkpoint);
+  std::atomic<int> batches{0};
+  FaultInjection::Arm("serve.batch", [&batches](const char*) {
+    if (batches.fetch_add(1) + 1 == 2) RequestServeInterrupt();
+    return false;
+  });
+  CliResult result = RunCli({"serve", "--workers", "2", "--batch", "16",
+                             "--save-checkpoint", checkpoint});
+  FaultInjection::DisarmAll();
+  EXPECT_EQ(result.code, 130) << result.err;
+  EXPECT_NE(result.out.find("interrupted: drained shard queues"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("shed batches"), std::string::npos) << result.out;
+  ASSERT_TRUE(std::filesystem::exists(checkpoint));
+
+  // The interrupted process's state restores into a fresh serve run.
+  CliResult resumed = RunCli({"serve", "--workers", "2", "--batch", "16",
+                              "--load-checkpoint", checkpoint});
+  EXPECT_EQ(resumed.code, 0) << resumed.err;
+  std::filesystem::remove(checkpoint);
 }
 
 }  // namespace
