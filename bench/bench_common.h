@@ -3,8 +3,7 @@
 // Figures 3-7 project the same hyper-parameter sweep onto different
 // metrics; the sweep is trained once per (dataset, scale) and cached on
 // disk (kvec_bench_cache/), so running all five binaries costs one sweep.
-#ifndef KVEC_BENCH_BENCH_COMMON_H_
-#define KVEC_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -64,4 +63,3 @@ inline void PrintCurveFigure(const char* figure_name, const char* metric_name,
 }  // namespace bench
 }  // namespace kvec
 
-#endif  // KVEC_BENCH_BENCH_COMMON_H_

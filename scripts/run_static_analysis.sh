@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis gate locally (docs/STATIC_ANALYSIS.md):
+#
+#   1. clang build with -Wthread-safety -Werror  (lock-annotation check)
+#   2. clang-tidy over compile_commands.json     (.clang-tidy config)
+#   3. python3 scripts/kvec_lint.py              (project-specific lint)
+#
+# Mirrors the CI `lint` job (.github/workflows/ci.yml). Tools that are not
+# installed are SKIPPED with a notice, not failed — the container image
+# ships GCC only; clang/clang-tidy run in CI regardless. Exit status is
+# non-zero iff a check that DID run failed.
+#
+# Usage: scripts/run_static_analysis.sh [build-dir]   (default: build-clang)
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-clang}"
+failures=0
+skipped=0
+
+note() { printf '== %s\n' "$*"; }
+
+if command -v clang++ >/dev/null 2>&1; then
+  note "clang build with -Wthread-safety -Werror -> ${BUILD_DIR}/"
+  if cmake -B "${BUILD_DIR}" -S . \
+        -DCMAKE_C_COMPILER=clang \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DKVEC_BUILD_BENCHMARKS=OFF \
+        -DKVEC_BUILD_EXAMPLES=OFF \
+        -DCMAKE_CXX_FLAGS="-Werror" \
+      && cmake --build "${BUILD_DIR}" -j; then
+    note "thread-safety build: OK"
+  else
+    note "thread-safety build: FAILED"
+    failures=$((failures + 1))
+  fi
+else
+  note "clang++ not found; skipping the -Wthread-safety build (CI runs it)"
+  skipped=$((skipped + 1))
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 \
+    && [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+  note "clang-tidy over ${BUILD_DIR}/compile_commands.json"
+  if git ls-files 'src/*.cc' 'apps/*.cc' \
+      | xargs clang-tidy -p "${BUILD_DIR}" --warnings-as-errors='*'; then
+    note "clang-tidy: OK"
+  else
+    note "clang-tidy: FAILED"
+    failures=$((failures + 1))
+  fi
+else
+  note "clang-tidy (or ${BUILD_DIR}/compile_commands.json) not found;" \
+       "skipping (CI runs it)"
+  skipped=$((skipped + 1))
+fi
+
+note "project lint: scripts/kvec_lint.py src/ tests/ apps/ bench/"
+if python3 scripts/kvec_lint.py src/ tests/ apps/ bench/; then
+  note "kvec_lint: OK"
+else
+  note "kvec_lint: FAILED"
+  failures=$((failures + 1))
+fi
+
+note "done: ${failures} failure(s), ${skipped} check(s) skipped"
+exit "$((failures > 0 ? 1 : 0))"

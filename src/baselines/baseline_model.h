@@ -15,8 +15,7 @@
 // mask only contains key correlation (each item attends to earlier items of
 // its own sequence) and whose membership embedding is disabled — on a
 // tangled stream that is exactly independent per-sequence encoding.
-#ifndef KVEC_BASELINES_BASELINE_MODEL_H_
-#define KVEC_BASELINES_BASELINE_MODEL_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -89,4 +88,3 @@ class BaselineModel : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_BASELINES_BASELINE_MODEL_H_

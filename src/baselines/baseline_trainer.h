@@ -1,7 +1,6 @@
 // Training and evaluation loops for the baseline methods, mirroring
 // KvecTrainer but with per-method representation / halting behaviour.
-#ifndef KVEC_BASELINES_BASELINE_TRAINER_H_
-#define KVEC_BASELINES_BASELINE_TRAINER_H_
+#pragma once
 
 #include <vector>
 
@@ -29,4 +28,3 @@ class BaselineTrainer {
 
 }  // namespace kvec
 
-#endif  // KVEC_BASELINES_BASELINE_TRAINER_H_

@@ -11,8 +11,7 @@
 // indicator ever fires fall back to the training majority class at full
 // length. The precision threshold is the earliness-accuracy knob: lower
 // thresholds admit weaker indicators that fire earlier but misfire more.
-#ifndef KVEC_BASELINES_INDICATOR_MATCHER_H_
-#define KVEC_BASELINES_INDICATOR_MATCHER_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -73,4 +72,3 @@ class IndicatorMatcher {
 
 }  // namespace kvec
 
-#endif  // KVEC_BASELINES_INDICATOR_MATCHER_H_

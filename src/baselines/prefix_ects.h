@@ -15,8 +15,7 @@
 // them it involves no deep representation, making it the "classical
 // methods" reference point in the extended comparison bench
 // (ext_method_comparison).
-#ifndef KVEC_BASELINES_PREFIX_ECTS_H_
-#define KVEC_BASELINES_PREFIX_ECTS_H_
+#pragma once
 
 #include <vector>
 
@@ -85,4 +84,3 @@ class PrefixEcts {
 
 }  // namespace kvec
 
-#endif  // KVEC_BASELINES_PREFIX_ECTS_H_

@@ -10,8 +10,7 @@
 // Not thread-safe (a parser is built, used, and discarded inside one
 // subcommand invocation); no global state, so concurrent RunKvecCli calls
 // with separate parsers are fine (tests/cli_test.cc drives it in-process).
-#ifndef KVEC_CLI_ARGS_H_
-#define KVEC_CLI_ARGS_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -88,4 +87,3 @@ std::vector<std::string> SplitCommaList(const std::string& text);
 }  // namespace cli
 }  // namespace kvec
 
-#endif  // KVEC_CLI_ARGS_H_

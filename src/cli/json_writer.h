@@ -6,8 +6,7 @@
 // JSON — which is what lets tests/cli_test.cc pin `kvec eval --json`
 // against a committed golden file. Serialisation only; there is
 // deliberately no parser (the CLI never consumes JSON).
-#ifndef KVEC_CLI_JSON_WRITER_H_
-#define KVEC_CLI_JSON_WRITER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -56,4 +55,3 @@ class JsonWriter {
 }  // namespace cli
 }  // namespace kvec
 
-#endif  // KVEC_CLI_JSON_WRITER_H_

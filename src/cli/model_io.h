@@ -16,8 +16,7 @@
 // spec.csv key-value table describing the DatasetSpec. It is deliberately
 // plain text: the same directory doubles as the bring-your-own-data entry
 // point (write the CSVs yourself, reuse any preset's spec or edit it).
-#ifndef KVEC_CLI_MODEL_IO_H_
-#define KVEC_CLI_MODEL_IO_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -94,4 +93,3 @@ const std::vector<PresetInfo>& AllPresets();
 }  // namespace cli
 }  // namespace kvec
 
-#endif  // KVEC_CLI_MODEL_IO_H_

@@ -9,7 +9,6 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "cli/args.h"
@@ -27,6 +26,8 @@
 #include "metrics/metrics.h"
 #include "util/bounded_queue.h"
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/table.h"
 
 namespace kvec {
@@ -732,11 +733,11 @@ struct ServeOutcome {
 // Submit-path events concurrently through the on_events sink.
 struct EventRecorder {
   const std::map<int, int>* truth = nullptr;
-  std::mutex mutex;
-  int64_t correct = 0;   // guarded by mutex
-  int64_t labelled = 0;  // guarded by mutex
+  Mutex mutex;
+  int64_t correct KVEC_GUARDED_BY(mutex) = 0;
+  int64_t labelled KVEC_GUARDED_BY(mutex) = 0;
 
-  void Record(const std::vector<StreamEvent>& events) {
+  void Record(const std::vector<StreamEvent>& events) KVEC_EXCLUDES(mutex) {
     int64_t batch_correct = 0;
     int64_t batch_labelled = 0;
     for (const StreamEvent& event : events) {
@@ -746,7 +747,7 @@ struct EventRecorder {
         if (event.predicted_label == it->second) ++batch_correct;
       }
     }
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     correct += batch_correct;
     labelled += batch_labelled;
   }
@@ -917,7 +918,7 @@ ServeOutcome ReplaySubmitStream(ShardedStreamServer& server,
   outcome.items = outcome.stats.items_processed - processed_before;
   outcome.open_keys_after = server.open_keys();
   {
-    std::lock_guard<std::mutex> lock(recorder->mutex);
+    MutexLock lock(recorder->mutex);
     outcome.correct = recorder->correct;
     outcome.labelled = recorder->labelled;
   }

@@ -18,8 +18,7 @@
 // path in-process (tests/cli_test.cc); apps/kvec.cc is a two-line argv
 // shim. All subcommands are deterministic for fixed flags and seeds,
 // except where they report wall-clock timings (serve/bench).
-#ifndef KVEC_CLI_SUBCOMMANDS_H_
-#define KVEC_CLI_SUBCOMMANDS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -56,4 +55,3 @@ const std::vector<SubcommandInfo>& Subcommands();
 }  // namespace cli
 }  // namespace kvec
 
-#endif  // KVEC_CLI_SUBCOMMANDS_H_

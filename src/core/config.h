@@ -1,6 +1,5 @@
 // Configuration of the KVEC model and its training loop.
-#ifndef KVEC_CORE_CONFIG_H_
-#define KVEC_CORE_CONFIG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -77,4 +76,3 @@ struct KvecConfig {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_CONFIG_H_

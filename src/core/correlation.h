@@ -30,8 +30,7 @@
 // Threading: NOT thread-safe; a tracker belongs to exactly one engine
 // (OnlineClassifier) and is mutated on every ObserveItem. Independent
 // trackers on different threads never share state.
-#ifndef KVEC_CORE_CORRELATION_H_
-#define KVEC_CORE_CORRELATION_H_
+#pragma once
 
 #include <map>
 #include <unordered_map>
@@ -108,4 +107,3 @@ EpisodeMask BuildEpisodeMask(const TangledSequence& episode,
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_CORRELATION_H_

@@ -13,8 +13,7 @@
 // a frozen encoder are safe (each gets its own tape). IncrementalEncoder
 // is stateful and NOT thread-safe: one instance per serving engine, which
 // is how OnlineClassifier and each ShardedStreamServer shard use it.
-#ifndef KVEC_CORE_ENCODER_H_
-#define KVEC_CORE_ENCODER_H_
+#pragma once
 
 #include <vector>
 
@@ -172,4 +171,3 @@ class IncrementalEncoder {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_ENCODER_H_

@@ -15,8 +15,7 @@
 // The parameter-free modes output embed_dim-wide representations; the
 // gated mode outputs state_dim. KvecModel sizes its heads from
 // `output_dim()`, so both work transparently.
-#ifndef KVEC_CORE_FUSION_H_
-#define KVEC_CORE_FUSION_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -69,4 +68,3 @@ class EmbeddingFusion : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_FUSION_H_

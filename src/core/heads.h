@@ -2,8 +2,7 @@
 //  * EctlPolicy        — halting policy π(s) = σ(w·s + b)      (paper §IV-C)
 //  * BaselineNetwork   — state-value baseline b(s; θ_b)         (paper §IV-E)
 //  * SequenceClassifier — softmax classifier over C labels      (paper §IV-D)
-#ifndef KVEC_CORE_HEADS_H_
-#define KVEC_CORE_HEADS_H_
+#pragma once
 
 #include <vector>
 
@@ -63,4 +62,3 @@ double MaxSoftmaxProbability(const Tensor& logits);
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_HEADS_H_

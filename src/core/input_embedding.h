@@ -5,8 +5,7 @@
 //   * relative position embedding — the item's index within its sequence;
 //   * time embedding      — the item's arrival order in the tangled stream.
 // The latter three can be disabled for the ablation study (Fig. 9).
-#ifndef KVEC_CORE_INPUT_EMBEDDING_H_
-#define KVEC_CORE_INPUT_EMBEDDING_H_
+#pragma once
 
 #include <vector>
 
@@ -61,4 +60,3 @@ class InputEmbedding : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_INPUT_EMBEDDING_H_

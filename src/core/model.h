@@ -15,8 +15,7 @@
 // with the serialised config to make the artifact self-describing.
 // Serving-side state (open sessions, encoder caches) is checkpointed
 // separately by StreamServer; see docs/SERVING.md.
-#ifndef KVEC_CORE_MODEL_H_
-#define KVEC_CORE_MODEL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,4 +64,3 @@ class KvecModel : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_MODEL_H_

@@ -30,8 +30,7 @@
 // re-encodes history) plus O(matches + log) correlation tracking — see
 // core/correlation.h. Memory grows with every observed item until the
 // owner rotates the engine (StreamServer's max_window_items bound).
-#ifndef KVEC_CORE_ONLINE_H_
-#define KVEC_CORE_ONLINE_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -122,4 +121,3 @@ class OnlineClassifier {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_ONLINE_H_

@@ -1,12 +1,12 @@
 #include "core/sharded_stream_server.h"
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace kvec {
@@ -26,20 +26,26 @@ uint32_t MixKey(uint32_t key) {
 }
 
 // Completion count for a fan-out of control tasks: the posting thread
-// waits until every shard's worker ran its task.
-struct Barrier {
-  std::mutex mutex;
-  std::condition_variable done;
-  int remaining = 0;
+// waits until every shard's worker ran its task. The count is fixed at
+// construction (before any task can see the barrier), so only the
+// decrement and the wait need the mutex.
+class Barrier {
+ public:
+  explicit Barrier(int count) : remaining_(count) {}
 
   void Arrive() {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--remaining == 0) done.notify_all();
+    MutexLock lock(mutex_);
+    if (--remaining_ == 0) done_.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [this]() { return remaining == 0; });
+    MutexLock lock(mutex_);
+    while (remaining_ != 0) done_.Wait(mutex_);
   }
+
+ private:
+  Mutex mutex_;
+  CondVar done_;
+  int remaining_ KVEC_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -86,19 +92,38 @@ ShardedStreamServer::~ShardedStreamServer() {
   }
 }
 
+StreamServer& ShardedStreamServer::WorkerOwnedServer(Shard& shard) {
+  // See the declaration for the ownership argument; every worker-side
+  // access to shard state funnels through here so the escape from the
+  // GUARDED_BY contract stays a single audited line.
+  return *shard.server;
+}
+
+void ShardedStreamServer::InstallServer(Shard& shard,
+                                        std::unique_ptr<StreamServer> server) {
+  shard.server = std::move(server);
+}
+
+std::vector<StreamEvent> ShardedStreamServer::ObserveBatchLocked(
+    Shard& shard, const std::vector<Item>& items) {
+  return shard.server->ObserveBatch(items);
+}
+
 void ShardedStreamServer::WorkerLoop(Shard* shard, int shard_index) {
   ShardTask task;
   while (shard->queue->Pop(&task)) {
+    // Re-fetched per task: a restore control task swaps the server out
+    // (InstallServer), so a reference held across tasks would dangle.
+    StreamServer& server = WorkerOwnedServer(*shard);
     if (task.fn) {
-      task.fn(*shard->server);
+      task.fn(server);
       continue;
     }
     // Stall point: tests hold the worker here mid-stream to saturate its
     // queue deterministically (the verdict is irrelevant — not a failable
     // site).
     (void)KVEC_FAULT_POINT("shard_worker.batch");
-    const std::vector<StreamEvent> events =
-        shard->server->ObserveBatch(task.items);
+    const std::vector<StreamEvent> events = server.ObserveBatch(task.items);
     if (config_.on_events) config_.on_events(shard_index, events);
   }
 }
@@ -108,13 +133,13 @@ void ShardedStreamServer::RunOnAllShards(
   const int num_shards = static_cast<int>(shards_.size());
   if (!asynchronous()) {
     for (int s = 0; s < num_shards; ++s) {
-      std::lock_guard<std::mutex> lock(shards_[s]->mutex);
-      fn(s, *shards_[s]->server);
+      Shard& shard = *shards_[s];
+      MutexLock lock(shard.mutex);
+      fn(s, *shard.server);
     }
     return;
   }
-  Barrier barrier;
-  barrier.remaining = num_shards;
+  Barrier barrier(num_shards);
   for (int s = 0; s < num_shards; ++s) {
     ShardTask task;
     task.fn = [&fn, &barrier, s](StreamServer& server) {
@@ -147,12 +172,11 @@ std::vector<StreamEvent> ShardedStreamServer::Observe(const Item& item) {
   Shard& shard = *shards_[ShardOf(item.key)];
   shard.items_submitted.fetch_add(1, std::memory_order_relaxed);
   if (!asynchronous()) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     return shard.server->Observe(item);
   }
   std::vector<StreamEvent> events;
-  Barrier barrier;
-  barrier.remaining = 1;
+  Barrier barrier(1);
   ShardTask task;
   task.fn = [&events, &barrier, &item](StreamServer& server) {
     events = server.Observe(item);
@@ -175,8 +199,8 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
     Shard& shard = *shards_[0];
     shard.items_submitted.fetch_add(static_cast<int64_t>(items.size()),
                                     std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    return shard.server->ObserveBatch(items);
+    MutexLock lock(shard.mutex);
+    return ObserveBatchLocked(shard, items);
   }
   // Route first: per-shard contiguous microbatches preserve arrival order
   // within a shard, which is all a shard's serving semantics depend on,
@@ -196,12 +220,12 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
     // Each sub-batch runs on its owning worker as a waited-on control
     // task: synchronous semantics (events returned, nothing shed) with
     // the workers providing the parallelism.
-    Barrier barrier;
-    barrier.remaining = 0;
+    int active_shards = 0;
     for (int s = 0; s < num_shards; ++s) {
-      if (!routed[s].empty()) ++barrier.remaining;
+      if (!routed[s].empty()) ++active_shards;
     }
-    if (barrier.remaining == 0) return {};
+    if (active_shards == 0) return {};
+    Barrier barrier(active_shards);
     for (int s = 0; s < num_shards; ++s) {
       if (routed[s].empty()) continue;
       ShardTask task;
@@ -219,8 +243,8 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
   } else {
     auto serve_shard = [&](int s) {
       Shard& shard = *shards_[s];
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard_events[s] = shard.server->ObserveBatch(routed[s]);
+      MutexLock lock(shard.mutex);
+      shard_events[s] = ObserveBatchLocked(shard, routed[s]);
     };
     int active_shards = 0;
     int last_active = -1;
@@ -271,8 +295,8 @@ void ShardedStreamServer::Submit(const std::vector<Item>& items) {
     if (!asynchronous()) {
       std::vector<StreamEvent> events;
       {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        events = shard.server->ObserveBatch(routed[s]);
+        MutexLock lock(shard.mutex);
+        events = ObserveBatchLocked(shard, routed[s]);
       }
       if (config_.on_events) config_.on_events(s, events);
       continue;
@@ -322,37 +346,46 @@ std::vector<StreamEvent> ShardedStreamServer::Flush() {
   return merged;
 }
 
-StreamServerStats ShardedStreamServer::SnapshotShardStats(int shard) const {
-  const Shard& s = *shards_[shard];
-  StreamServerStats stats = s.server->stats();  // caller holds the snapshot
-  stats.items_submitted = s.items_submitted.load(std::memory_order_relaxed);
-  stats.batches_shed = s.batches_shed.load(std::memory_order_relaxed);
-  stats.items_shed = s.items_shed.load(std::memory_order_relaxed);
+StreamServerStats ShardedStreamServer::MergeTransportCounters(
+    const Shard& shard, StreamServerStats stats) {
+  stats.items_submitted =
+      shard.items_submitted.load(std::memory_order_relaxed);
+  stats.batches_shed = shard.batches_shed.load(std::memory_order_relaxed);
+  stats.items_shed = shard.items_shed.load(std::memory_order_relaxed);
   return stats;
 }
 
-StreamServerStats ShardedStreamServer::stats() const {
+std::vector<StreamServerStats> ShardedStreamServer::SnapshotAllShardsLocked()
+    const {
+  // Coherent cross-shard snapshot: take EVERY shard mutex (in index
+  // order — the only multi-mutex acquisition in this class, so no
+  // ordering cycle exists), then copy. No shard can be mid-batch, and
+  // no sharded ObserveBatch can be half-merged across the copies.
+  // (Escapes -Wthread-safety — see the declaration — because the lock
+  // set is sized at runtime; the acquire/release loops below are the
+  // whole argument.)
   const int num_shards = static_cast<int>(shards_.size());
   std::vector<StreamServerStats> per_shard(num_shards);
+  for (int s = 0; s < num_shards; ++s) shards_[s]->mutex.Lock();
+  for (int s = 0; s < num_shards; ++s) {
+    per_shard[s] =
+        MergeTransportCounters(*shards_[s], shards_[s]->server->stats());
+  }
+  for (int s = num_shards - 1; s >= 0; --s) shards_[s]->mutex.Unlock();
+  return per_shard;
+}
+
+StreamServerStats ShardedStreamServer::stats() const {
+  std::vector<StreamServerStats> per_shard;
   if (!asynchronous()) {
-    // Coherent cross-shard snapshot: take EVERY shard mutex (in index
-    // order — the only multi-mutex acquisition in this class, so no
-    // ordering cycle exists), then copy. No shard can be mid-batch, and
-    // no sharded ObserveBatch can be half-merged across the copies.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(num_shards);
-    for (int s = 0; s < num_shards; ++s) {
-      locks.emplace_back(shards_[s]->mutex);
-    }
-    for (int s = 0; s < num_shards; ++s) {
-      per_shard[s] = SnapshotShardStats(s);
-    }
+    per_shard = SnapshotAllShardsLocked();
   } else {
     // Each shard answers on its owning worker at a batch boundary, so a
     // shard's counters always partition (stats snapshots route through
     // the task queue, behind every batch enqueued before this call).
-    RunOnAllShards([this, &per_shard](int s, StreamServer&) {
-      per_shard[s] = SnapshotShardStats(s);
+    per_shard.resize(shards_.size());
+    RunOnAllShards([this, &per_shard](int s, StreamServer& server) {
+      per_shard[s] = MergeTransportCounters(*shards_[s], server.stats());
     });
   }
   StreamServerStats merged;
@@ -364,21 +397,21 @@ StreamServerStats ShardedStreamServer::stats() const {
 StreamServerStats ShardedStreamServer::shard_stats(int shard) const {
   KVEC_CHECK_GE(shard, 0);
   KVEC_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  Shard& target = *shards_[shard];
   if (!asynchronous()) {
-    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
-    return SnapshotShardStats(shard);
+    MutexLock lock(target.mutex);
+    return MergeTransportCounters(target, target.server->stats());
   }
   StreamServerStats stats;
-  Barrier barrier;
-  barrier.remaining = 1;
+  Barrier barrier(1);
   ShardTask task;
-  task.fn = [this, &stats, &barrier, shard](StreamServer&) {
-    stats = SnapshotShardStats(shard);
+  task.fn = [&target, &stats, &barrier](StreamServer& server) {
+    stats = MergeTransportCounters(target, server.stats());
     barrier.Arrive();
   };
-  const auto result = shards_[shard]->queue->Push(
-      std::move(task), OverloadPolicy::kBlock, /*sheddable=*/false,
-      /*shed_out=*/nullptr);
+  const auto result =
+      target.queue->Push(std::move(task), OverloadPolicy::kBlock,
+                         /*sheddable=*/false, /*shed_out=*/nullptr);
   KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted);
   barrier.Wait();
   return stats;
@@ -444,7 +477,9 @@ bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
     processed[s] = staged[s]->stats().items_processed;
   }
   RunOnAllShards([this, &staged, &processed](int s, StreamServer&) {
-    shards_[s]->server = std::move(staged[s]);
+    // InstallServer is ownership-transfer point 2: this callback runs
+    // under the shard mutex (sync) or on the owning worker (async).
+    InstallServer(*shards_[s], std::move(staged[s]));
     shards_[s]->items_submitted.store(processed[s], std::memory_order_relaxed);
     shards_[s]->batches_shed.store(0, std::memory_order_relaxed);
     shards_[s]->items_shed.store(0, std::memory_order_relaxed);
@@ -475,16 +510,17 @@ bool ShardedStreamServer::LoadCheckpoint(const std::string& path) {
 int ShardedStreamServer::open_keys() const {
   int total = 0;
   if (!asynchronous()) {
-    for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
-      total += shard->server->open_keys();
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      MutexLock lock(shard.mutex);
+      total += shard.server->open_keys();
     }
     return total;
   }
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   RunOnAllShards([&total, &merge_mutex](int, StreamServer& server) {
     const int keys = server.open_keys();
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     total += keys;
   });
   return total;

@@ -44,19 +44,19 @@
 // Bounds are per shard: global capacity is num_shards * max_open_keys and
 // idle timeouts / window rotations are measured in per-shard stream
 // positions (a shard's clock only advances when it receives an item).
-#ifndef KVEC_CORE_SHARDED_STREAM_SERVER_H_
-#define KVEC_CORE_SHARDED_STREAM_SERVER_H_
+#pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/stream_server.h"
 #include "util/bounded_queue.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kvec {
 
@@ -177,12 +177,18 @@ class ShardedStreamServer {
   };
 
   struct Shard {
-    mutable std::mutex mutex;              // sync mode: guards server
-    std::unique_ptr<StreamServer> server;  // mutated only by its owner
+    // Sync mode: every access to `server` holds this mutex, and the
+    // KVEC_GUARDED_BY below makes clang -Wthread-safety reject any that
+    // does not. Async mode: the mutex is idle — `server` is owned by the
+    // shard's worker thread and reached only through WorkerOwnedServer /
+    // InstallServer, the two audited ownership-transfer points.
+    mutable Mutex mutex;
+    std::unique_ptr<StreamServer> server KVEC_GUARDED_BY(mutex);
     std::unique_ptr<BoundedQueue<ShardTask>> queue;  // async mode only
     std::thread worker;                              // async mode only
     // Transport-layer counters. Producers bump submitted/shed (Submit may
-    // shed on the producer thread); stats snapshots read them.
+    // shed on the producer thread); stats snapshots read them. Atomics:
+    // deliberately outside the mutex so the Submit hot path never locks.
     std::atomic<int64_t> items_submitted{0};
     std::atomic<int64_t> batches_shed{0};
     std::atomic<int64_t> items_shed{0};
@@ -194,7 +200,44 @@ class ShardedStreamServer {
   void RunOnAllShards(const std::function<void(int, StreamServer&)>& fn) const;
   // Charges `count` dropped items against `shard`'s shed counters.
   static void CountShed(Shard* shard, int64_t batches, int64_t items);
-  StreamServerStats SnapshotShardStats(int shard) const;
+
+  // The synchronous-mode ingest body: requires the shard mutex, which is
+  // what pins "callers run the shard engines in place, serialized on a
+  // per-shard mutex" at compile time — delete the KVEC_REQUIRES and the
+  // clang -Wthread-safety build fails on the guarded access inside.
+  static std::vector<StreamEvent> ObserveBatchLocked(
+      Shard& shard, const std::vector<Item>& items) KVEC_REQUIRES(shard.mutex);
+
+  // Ownership-transfer point 1 (async mode): the worker's view of its own
+  // shard. Safe without the mutex because (a) `server` is written before
+  // the worker thread is spawned (constructor) or through InstallServer on
+  // this same worker (restore), and (b) the queue's internal mutex gives
+  // the worker a happens-before edge with every producer. Justification
+  // for the escape hatch: TSA has no notion of thread ownership.
+  static StreamServer& WorkerOwnedServer(Shard& shard)
+      KVEC_NO_THREAD_SAFETY_ANALYSIS;
+
+  // Ownership-transfer point 2 (checkpoint restore commit): swaps a staged
+  // server in. Runs either under the shard mutex (sync mode, via
+  // RunOnAllShards) or on the owning worker (async mode) — both exclusive,
+  // but expressed as "lock OR ownership", which TSA cannot state.
+  static void InstallServer(Shard& shard,
+                            std::unique_ptr<StreamServer> server)
+      KVEC_NO_THREAD_SAFETY_ANALYSIS;
+
+  // Copies the transport atomics into an engine-stats snapshot the caller
+  // already owns (no lock needed: the counters are atomics by design).
+  static StreamServerStats MergeTransportCounters(const Shard& shard,
+                                                  StreamServerStats stats);
+
+  // The sync-mode coherent stats snapshot: acquires EVERY shard mutex in
+  // index order, copies, releases. A dynamically-sized, loop-acquired lock
+  // set is outside what TSA can model, so this one function opts out;
+  // safety argument: index order is the only multi-mutex order in this
+  // class, so no cycle is possible, and the loop releases exactly what it
+  // acquired.
+  std::vector<StreamServerStats> SnapshotAllShardsLocked() const
+      KVEC_NO_THREAD_SAFETY_ANALYSIS;
 
   // Shared bodies of the four checkpoint entry points.
   Checkpoint BuildCheckpoint() const;
@@ -206,5 +249,3 @@ class ShardedStreamServer {
 };
 
 }  // namespace kvec
-
-#endif  // KVEC_CORE_SHARDED_STREAM_SERVER_H_

@@ -29,8 +29,7 @@
 // Threading: NOT thread-safe — one server serves one stream from one
 // thread. For concurrent ingest wrap shards in ShardedStreamServer,
 // which serialises same-shard callers on a per-shard mutex.
-#ifndef KVEC_CORE_STREAM_SERVER_H_
-#define KVEC_CORE_STREAM_SERVER_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -215,4 +214,3 @@ class StreamServer {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_STREAM_SERVER_H_

@@ -24,8 +24,7 @@
 // bit-identical regardless of KVEC_NUM_THREADS. Training cost is
 // O(epochs · Σ_episodes T² · d) (full-episode encoder passes); Evaluate
 // is one forward pass per episode.
-#ifndef KVEC_CORE_TRAINER_H_
-#define KVEC_CORE_TRAINER_H_
+#pragma once
 
 #include <vector>
 
@@ -107,4 +106,3 @@ class KvecTrainer {
 
 }  // namespace kvec
 
-#endif  // KVEC_CORE_TRAINER_H_

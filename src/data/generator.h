@@ -5,8 +5,7 @@
 // disjoint episodes for the train/validation/test splits, which makes the
 // splits key-disjoint (each episode has its own keys), mirroring the paper's
 // key-based 8:1:1 split with no key overlap.
-#ifndef KVEC_DATA_GENERATOR_H_
-#define KVEC_DATA_GENERATOR_H_
+#pragma once
 
 #include "data/types.h"
 #include "util/rng.h"
@@ -38,4 +37,3 @@ Dataset GenerateDataset(const EpisodeGenerator& generator,
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_GENERATOR_H_

@@ -10,8 +10,7 @@
 // the episode. `label` is the class of the item's key-value sequence and
 // must be consistent for all items of one (episode, key). `true_halt` is
 // optional ground truth for halting-position evaluation (0 = unknown).
-#ifndef KVEC_DATA_IO_H_
-#define KVEC_DATA_IO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -38,4 +37,3 @@ bool LoadTangledSequences(const std::string& path,
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_IO_H_

@@ -5,8 +5,7 @@
 // gender (2 classes), predicted from genre-preference and rating-behaviour
 // differences. Sessions are runs of same-genre ratings (paper §V-A), kept
 // short (target ≈ 1.7) to match Table I.
-#ifndef KVEC_DATA_MOVIELENS_GENERATOR_H_
-#define KVEC_DATA_MOVIELENS_GENERATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -62,4 +61,3 @@ class MovieLensGenerator : public EpisodeGenerator {
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_MOVIELENS_GENERATOR_H_

@@ -8,8 +8,7 @@
 // can measure how gracefully KVEC and the baselines degrade. All transforms
 // preserve the invariants `TangledSequence::Validate` checks (chronological
 // order, label coverage, value arity) and are deterministic given the Rng.
-#ifndef KVEC_DATA_PERTURB_H_
-#define KVEC_DATA_PERTURB_H_
+#pragma once
 
 #include <vector>
 
@@ -55,4 +54,3 @@ std::vector<TangledSequence> PerturbAll(
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_PERTURB_H_

@@ -1,7 +1,6 @@
 // Dataset presets mirroring the paper's five datasets (Table I), with an
 // experiment-scale knob trading runtime for fidelity on a single CPU core.
-#ifndef KVEC_DATA_PRESETS_H_
-#define KVEC_DATA_PRESETS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -44,4 +43,3 @@ Dataset MakePresetDataset(PresetId id, ExperimentScale scale, uint64_t seed);
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_PRESETS_H_

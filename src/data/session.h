@@ -4,8 +4,7 @@
 // sequence sharing the same value in the session field (e.g., packets with
 // the same transmission direction = a burst; movies of the same genre a
 // user watched back-to-back).
-#ifndef KVEC_DATA_SESSION_H_
-#define KVEC_DATA_SESSION_H_
+#pragma once
 
 #include <vector>
 
@@ -24,4 +23,3 @@ double AverageSessionLength(const TangledSequence& sequence,
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_SESSION_H_

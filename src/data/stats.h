@@ -1,6 +1,5 @@
 // Dataset statistics (Table I of the paper).
-#ifndef KVEC_DATA_STATS_H_
-#define KVEC_DATA_STATS_H_
+#pragma once
 
 #include "data/types.h"
 
@@ -20,4 +19,3 @@ DatasetStats ComputeDatasetStats(const Dataset& dataset);
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_STATS_H_

@@ -8,8 +8,7 @@
 // "empty packet" drawn from a class-independent distribution. The true
 // halting position of a flow is the item index at which the signal has been
 // fully observed.
-#ifndef KVEC_DATA_STOP_SIGNAL_GENERATOR_H_
-#define KVEC_DATA_STOP_SIGNAL_GENERATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,4 +50,3 @@ class StopSignalGenerator : public EpisodeGenerator {
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_STOP_SIGNAL_GENERATOR_H_

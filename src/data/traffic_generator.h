@@ -10,8 +10,7 @@
 //  * class-specific packet-size distributions in the flow body;
 //  * bursts — runs of same-direction packets — whose length statistics are
 //    class-specific (sessions in the paper's terminology).
-#ifndef KVEC_DATA_TRAFFIC_GENERATOR_H_
-#define KVEC_DATA_TRAFFIC_GENERATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -83,4 +82,3 @@ class TrafficGenerator : public EpisodeGenerator {
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_TRAFFIC_GENERATOR_H_

@@ -12,8 +12,7 @@
 //
 // A training/evaluation corpus is a set of independent tangled sequences
 // ("episodes"), each containing several concurrent key-value sequences.
-#ifndef KVEC_DATA_TYPES_H_
-#define KVEC_DATA_TYPES_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -81,4 +80,3 @@ struct Dataset {
 
 }  // namespace kvec
 
-#endif  // KVEC_DATA_TYPES_H_

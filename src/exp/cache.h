@@ -11,8 +11,7 @@
 // cross-process locking. Load of a malformed/partial file fails cleanly
 // and the caller recomputes. Keys are sanitised into filenames, so any
 // printable key is safe.
-#ifndef KVEC_EXP_CACHE_H_
-#define KVEC_EXP_CACHE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -48,4 +47,3 @@ class SweepCache {
 
 }  // namespace kvec
 
-#endif  // KVEC_EXP_CACHE_H_

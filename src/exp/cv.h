@@ -8,8 +8,7 @@
 // Cost: CrossValidate trains `num_folds` fresh models at the given grid
 // value (sequentially; deterministic for a fixed fold seed + options
 // seed), so a five-fold run costs 5× one RunMethodSweep grid point.
-#ifndef KVEC_EXP_CV_H_
-#define KVEC_EXP_CV_H_
+#pragma once
 
 #include <vector>
 
@@ -56,4 +55,3 @@ CrossValidationSummary AggregateSummaries(
 
 }  // namespace kvec
 
-#endif  // KVEC_EXP_CV_H_

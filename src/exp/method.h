@@ -9,8 +9,7 @@
 // Every `run` is deterministic for a fixed (dataset, hyper,
 // MethodRunOptions::seed) triple and owns all of its state — no two runs
 // share anything, so callers may execute grid points in any order.
-#ifndef KVEC_EXP_METHOD_H_
-#define KVEC_EXP_METHOD_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -66,4 +65,3 @@ std::vector<MethodSpec> AllMethodsExtended();
 
 }  // namespace kvec
 
-#endif  // KVEC_EXP_METHOD_H_

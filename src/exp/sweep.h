@@ -8,8 +8,7 @@
 // for fixed MethodRunOptions::seed. The functions share no mutable
 // state, so concurrent sweeps of different methods/datasets from
 // different threads are safe; a single sweep runs sequentially.
-#ifndef KVEC_EXP_SWEEP_H_
-#define KVEC_EXP_SWEEP_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ double InterpolateMetric(const std::vector<SweepPoint>& method_points,
 
 }  // namespace kvec
 
-#endif  // KVEC_EXP_SWEEP_H_

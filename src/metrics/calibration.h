@@ -6,8 +6,7 @@
 // the standard reliability analysis: bucket predictions by confidence,
 // compare per-bucket accuracy to mean confidence, and summarise the gap as
 // the Expected Calibration Error (ECE, Guo et al. 2017).
-#ifndef KVEC_METRICS_CALIBRATION_H_
-#define KVEC_METRICS_CALIBRATION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ std::string CalibrationReport(const std::vector<PredictionRecord>& records,
 
 }  // namespace kvec
 
-#endif  // KVEC_METRICS_CALIBRATION_H_

@@ -1,8 +1,7 @@
 // Evaluation metrics (paper §V-A.3): earliness, accuracy, macro-averaged
 // precision / recall / F1, and the harmonic mean of accuracy and
 // (1 - earliness).
-#ifndef KVEC_METRICS_METRICS_H_
-#define KVEC_METRICS_METRICS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -49,4 +48,3 @@ std::string ClassificationReport(const std::vector<PredictionRecord>& records,
 
 }  // namespace kvec
 
-#endif  // KVEC_METRICS_METRICS_H_

@@ -8,8 +8,7 @@
 //
 // followed by a position-wise feed-forward layer. The block keeps the usual
 // Transformer residual connections + layer norm (see DESIGN.md §4.3).
-#ifndef KVEC_NN_ATTENTION_H_
-#define KVEC_NN_ATTENTION_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -89,4 +88,3 @@ class AttentionBlock : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_ATTENTION_H_

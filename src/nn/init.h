@@ -1,6 +1,5 @@
 // Parameter initialisation schemes.
-#ifndef KVEC_NN_INIT_H_
-#define KVEC_NN_INIT_H_
+#pragma once
 
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -20,4 +19,3 @@ Tensor ZeroInit(int rows, int cols);
 }  // namespace nn
 }  // namespace kvec
 
-#endif  // KVEC_NN_INIT_H_

@@ -1,7 +1,6 @@
 // Basic trainable layers: Linear, Embedding, LayerNorm, FeedForward, and a
 // small multi-layer perceptron used by the ECTL baseline network.
-#ifndef KVEC_NN_LAYERS_H_
-#define KVEC_NN_LAYERS_H_
+#pragma once
 
 #include <vector>
 
@@ -101,4 +100,3 @@ class Mlp : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_LAYERS_H_

@@ -8,8 +8,7 @@
 //   o_t = σ(W_o [s_{t-1}; E_t] + b_o)        output gate
 //   C_t = f_t ⊙ C_{t-1} + i_t ⊙ tanh(W_c [s_{t-1}; E_t] + b_c)
 //   s_t = o_t ⊙ tanh(C_t)
-#ifndef KVEC_NN_LSTM_CELL_H_
-#define KVEC_NN_LSTM_CELL_H_
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ class LstmFusionCell : public Module {
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_LSTM_CELL_H_

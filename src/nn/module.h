@@ -1,7 +1,6 @@
 // Base class for neural-network modules: a named parameter registry with
 // checkpoint save/load and gradient bookkeeping.
-#ifndef KVEC_NN_MODULE_H_
-#define KVEC_NN_MODULE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -43,4 +42,3 @@ double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_MODULE_H_

@@ -1,6 +1,5 @@
 // First-order optimizers operating in place on parameter tensors.
-#ifndef KVEC_NN_OPTIMIZER_H_
-#define KVEC_NN_OPTIMIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -100,4 +99,3 @@ class RmsProp : public Optimizer {
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_OPTIMIZER_H_

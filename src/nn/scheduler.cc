@@ -33,7 +33,10 @@ StepDecayLr::StepDecayLr(Optimizer* optimizer, int step_size, float gamma)
 }
 
 float StepDecayLr::ComputeLr(int step) const {
-  return base_lr() * std::pow(gamma_, static_cast<float>(step / step_size_));
+  // Staircase decay: the integer division is the point — the exponent only
+  // advances once per completed step_size_ steps.
+  const int completed_stages = step / step_size_;
+  return base_lr() * std::pow(gamma_, static_cast<float>(completed_stages));
 }
 
 ExponentialDecayLr::ExponentialDecayLr(Optimizer* optimizer, float gamma)

@@ -11,8 +11,7 @@
 //
 // `Step()` is designed to be called once per epoch, but nothing prevents a
 // per-update granularity; `total_steps` just has to match.
-#ifndef KVEC_NN_SCHEDULER_H_
-#define KVEC_NN_SCHEDULER_H_
+#pragma once
 
 #include "nn/optimizer.h"
 
@@ -119,4 +118,3 @@ class WarmupCosineLr : public LrScheduler {
 
 }  // namespace kvec
 
-#endif  // KVEC_NN_SCHEDULER_H_

@@ -19,7 +19,7 @@ BufferPool& BufferPool::Global() {
 
 std::vector<float> BufferPool::Take(size_t n) {
   std::vector<float> buffer;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (enabled_ && n > 0) {
     // Smallest cached buffer whose capacity fits; an exact-size match is
     // the common case because op shapes repeat every step. Everything at
@@ -69,7 +69,7 @@ std::vector<float> BufferPool::AcquireUninitialized(size_t n) {
 void BufferPool::Release(std::vector<float>&& buffer) {
   const size_t capacity = buffer.capacity();
   if (capacity == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!enabled_ || capacity > max_cached_floats_) {
     ++stats_.dropped;
     return;  // `buffer` frees on scope exit
@@ -97,28 +97,28 @@ void BufferPool::Release(std::vector<float>&& buffer) {
 }
 
 void BufferPool::SetEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   enabled_ = enabled;
 }
 
 void BufferPool::SetMaxCachedFloats(size_t max_cached_floats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   max_cached_floats_ = max_cached_floats;
 }
 
 bool BufferPool::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return enabled_;
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   free_lists_.clear();
   cached_floats_ = 0;
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats out = stats_;
   out.cached_floats = cached_floats_;
   out.cached_buffers = 0;

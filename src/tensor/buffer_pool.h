@@ -13,14 +13,15 @@
 // free normally. Disable with SetEnabled(false) (or KVEC_NO_BUFFER_POOL=1 in
 // the environment) to fall back to plain allocation, e.g. under ASan when
 // hunting use-after-free through recycled storage.
-#ifndef KVEC_TENSOR_BUFFER_POOL_H_
-#define KVEC_TENSOR_BUFFER_POOL_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kvec {
 
@@ -55,43 +56,43 @@ class BufferPool {
   static BufferPool& Global();
 
   // A buffer with size() == n, every element set to `fill`.
-  std::vector<float> Acquire(size_t n, float fill);
+  std::vector<float> Acquire(size_t n, float fill) KVEC_EXCLUDES(mutex_);
 
   // A buffer with size() == n and unspecified contents — for op outputs the
   // caller overwrites entirely. A pool hit whose previous size covers n is
   // O(1) (shrinking resize writes nothing); other paths fall back to a fill.
-  std::vector<float> AcquireUninitialized(size_t n);
+  std::vector<float> AcquireUninitialized(size_t n) KVEC_EXCLUDES(mutex_);
 
   // Hands storage back; takes any vector (moved-from, empty, oversized).
-  void Release(std::vector<float>&& buffer);
+  void Release(std::vector<float>&& buffer) KVEC_EXCLUDES(mutex_);
 
-  void SetEnabled(bool enabled);
-  bool enabled() const;
+  void SetEnabled(bool enabled) KVEC_EXCLUDES(mutex_);
+  bool enabled() const KVEC_EXCLUDES(mutex_);
 
   // Caps cached storage (in floats). Shrinking below the current cache
   // does not free anything eagerly; the next releases rebalance.
-  void SetMaxCachedFloats(size_t max_cached_floats);
+  void SetMaxCachedFloats(size_t max_cached_floats) KVEC_EXCLUDES(mutex_);
 
   // Drops all cached buffers (keeps the enabled flag).
-  void Clear();
+  void Clear() KVEC_EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const KVEC_EXCLUDES(mutex_);
 
  private:
   BufferPool();
 
   // Pops the smallest sufficient free buffer (empty vector on miss).
-  std::vector<float> Take(size_t n);
+  std::vector<float> Take(size_t n) KVEC_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  bool enabled_ = true;
-  size_t max_cached_floats_ = kDefaultMaxCachedFloats;
-  size_t cached_floats_ = 0;
+  mutable Mutex mutex_;
+  bool enabled_ KVEC_GUARDED_BY(mutex_) = true;
+  size_t max_cached_floats_ KVEC_GUARDED_BY(mutex_) = kDefaultMaxCachedFloats;
+  size_t cached_floats_ KVEC_GUARDED_BY(mutex_) = 0;
   // capacity -> free buffers of exactly that capacity.
-  std::map<size_t, std::vector<std::vector<float>>> free_lists_;
-  Stats stats_;
+  std::map<size_t, std::vector<std::vector<float>>> free_lists_
+      KVEC_GUARDED_BY(mutex_);
+  Stats stats_ KVEC_GUARDED_BY(mutex_);
 };
 
 }  // namespace kvec
 
-#endif  // KVEC_TENSOR_BUFFER_POOL_H_

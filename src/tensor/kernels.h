@@ -17,8 +17,7 @@
 //
 // Aliasing contract: C must not overlap A or B. A and B may alias each
 // other (e.g. Q·Qᵀ).
-#ifndef KVEC_TENSOR_KERNELS_H_
-#define KVEC_TENSOR_KERNELS_H_
+#pragma once
 
 namespace kvec {
 namespace kernels {
@@ -50,4 +49,3 @@ void AddBiasRows(float* c, const float* bias, int m, int n);
 }  // namespace kernels
 }  // namespace kvec
 
-#endif  // KVEC_TENSOR_KERNELS_H_

@@ -3,8 +3,7 @@
 // Every function returns a new tensor whose backward function accumulates
 // gradients into the inputs that require them. All gradients are verified
 // against central finite differences in `tests/autograd_test.cc`.
-#ifndef KVEC_TENSOR_OPS_H_
-#define KVEC_TENSOR_OPS_H_
+#pragma once
 
 #include <vector>
 
@@ -132,4 +131,3 @@ int ArgMaxRow(const Tensor& a, int row);
 }  // namespace ops
 }  // namespace kvec
 
-#endif  // KVEC_TENSOR_OPS_H_

@@ -18,8 +18,7 @@
 //  * The graph is retained by parent pointers from outputs to inputs, so a
 //    forward pass keeps its intermediates alive until the outputs go out of
 //    scope. Use `Detach()` to cut the graph (e.g., streaming inference).
-#ifndef KVEC_TENSOR_TENSOR_H_
-#define KVEC_TENSOR_TENSOR_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -136,4 +135,3 @@ uint64_t GraphNodesRecorded();
 }  // namespace internal
 }  // namespace kvec
 
-#endif  // KVEC_TENSOR_TENSOR_H_

@@ -16,22 +16,25 @@
 // loses them.
 //
 // Implementation is a mutex + two condition variables over a deque:
-// deliberately boring, so the concurrency story is auditable and
-// ThreadSanitizer-clean. The push path fires the "bounded_queue.push"
-// fault-injection point (util/fault_injection.h) before taking the lock,
-// letting tests widen producer/consumer races deterministically.
-#ifndef KVEC_UTIL_BOUNDED_QUEUE_H_
-#define KVEC_UTIL_BOUNDED_QUEUE_H_
+// deliberately boring, so the concurrency story is auditable, clean under
+// ThreadSanitizer, AND machine-checked — the mutex is an annotated
+// kvec::Mutex (util/mutex.h) and every deque/flag access is
+// KVEC_GUARDED_BY it, so a clang -Wthread-safety build rejects any future
+// path that touches queue state outside the lock. The push path fires the
+// "bounded_queue.push" fault-injection point (util/fault_injection.h)
+// before taking the lock, letting tests widen producer/consumer races
+// deterministically.
+#pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kvec {
 
@@ -66,11 +69,68 @@ class BoundedQueue {
   // can prove no eviction happens) so the producer can account for every
   // dropped payload. Thread-safe.
   PushResult Push(T value, OverloadPolicy policy, bool sheddable,
-                  std::vector<T>* shed_out) {
+                  std::vector<T>* shed_out) KVEC_EXCLUDES(mutex_) {
     // Delay point: tests widen the route-to-enqueue window here (not a
     // failable site, so the verdict is ignored).
     (void)KVEC_FAULT_POINT("bounded_queue.push");
-    std::unique_lock<std::mutex> lock(mutex_);
+    PushResult result;
+    {
+      MutexLock lock(mutex_);
+      result = PushLocked(std::move(value), policy, sheddable, shed_out);
+    }
+    // Outside the lock, so a woken consumer never immediately blocks on
+    // the mutex the notifier still holds. Notifying on the (rare)
+    // evict-and-replace accept too is harmless: the queue was full, so no
+    // consumer can be parked on not_empty_.
+    if (result == PushResult::kAccepted) not_empty_.NotifyOne();
+    return result;
+  }
+
+  // Blocks until an entry is available or the queue is closed *and* empty.
+  // Returns false only in the latter case: a closed queue still drains, so
+  // shutdown never loses accepted work.
+  bool Pop(T* out) KVEC_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && entries_.empty()) not_empty_.Wait(mutex_);
+      if (entries_.empty()) return false;
+      *out = std::move(entries_.front().value);
+      entries_.pop_front();
+    }
+    not_full_.NotifyOne();
+    return true;
+  }
+
+  // After Close, pushes fail with kClosed and Pop drains what was already
+  // accepted, then returns false. Idempotent.
+  void Close() KVEC_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
+  }
+
+  size_t size() const KVEC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return entries_.size();
+  }
+
+  int capacity() const { return static_cast<int>(capacity_); }
+
+ private:
+  struct Entry {
+    T value;
+    bool sheddable = false;
+  };
+
+  // The overload-policy state machine, under the lock. Factored out so the
+  // lock/notify choreography above stays flat — and so the KVEC_REQUIRES
+  // contract pins it: compile with clang -Wthread-safety and this body is
+  // rejected unless every caller holds mutex_.
+  PushResult PushLocked(T value, OverloadPolicy policy, bool sheddable,
+                        std::vector<T>* shed_out) KVEC_REQUIRES(mutex_) {
     if (closed_) return PushResult::kClosed;
     if (entries_.size() >= capacity_) {
       if (sheddable && policy == OverloadPolicy::kShedNewest) {
@@ -89,63 +149,19 @@ class BoundedQueue {
           }
         }
       }
-      not_full_.wait(lock, [this]() {
-        return closed_ || entries_.size() < capacity_;
-      });
+      while (!closed_ && entries_.size() >= capacity_) not_full_.Wait(mutex_);
       if (closed_) return PushResult::kClosed;
     }
     entries_.push_back({std::move(value), sheddable});
-    lock.unlock();
-    not_empty_.notify_one();
     return PushResult::kAccepted;
   }
 
-  // Blocks until an entry is available or the queue is closed *and* empty.
-  // Returns false only in the latter case: a closed queue still drains, so
-  // shutdown never loses accepted work.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this]() { return closed_ || !entries_.empty(); });
-    if (entries_.empty()) return false;
-    *out = std::move(entries_.front().value);
-    entries_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return true;
-  }
-
-  // After Close, pushes fail with kClosed and Pop drains what was already
-  // accepted, then returns false. Idempotent.
-  void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
-
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
-  }
-
-  int capacity() const { return static_cast<int>(capacity_); }
-
- private:
-  struct Entry {
-    T value;
-    bool sheddable = false;
-  };
-
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;  // signalled by Push
-  std::condition_variable not_full_;   // signalled by Pop / Close
-  std::deque<Entry> entries_;          // guarded by mutex_
-  size_t capacity_;
-  bool closed_ = false;  // guarded by mutex_
+  mutable Mutex mutex_;
+  CondVar not_empty_;  // signalled by Push
+  CondVar not_full_;   // signalled by Pop / Close
+  std::deque<Entry> entries_ KVEC_GUARDED_BY(mutex_);
+  const size_t capacity_;  // immutable after construction: no guard needed
+  bool closed_ KVEC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kvec
-
-#endif  // KVEC_UTIL_BOUNDED_QUEUE_H_

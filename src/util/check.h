@@ -7,8 +7,7 @@
 //   KVEC_CHECK(n > 0) << "need a positive count, got " << n;
 //
 // KVEC_DCHECK compiles away in NDEBUG builds and is used on hot paths.
-#ifndef KVEC_UTIL_CHECK_H_
-#define KVEC_UTIL_CHECK_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -53,4 +52,3 @@ class CheckFailure {
 #define KVEC_DCHECK(condition) KVEC_CHECK(condition)
 #endif
 
-#endif  // KVEC_UTIL_CHECK_H_

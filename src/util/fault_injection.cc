@@ -4,20 +4,23 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kvec {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, FaultInjection::Hook> hooks;  // guarded by mutex
-  std::map<std::string, int64_t> fires;               // guarded by mutex
+  Mutex mutex;
+  std::map<std::string, FaultInjection::Hook> hooks KVEC_GUARDED_BY(mutex);
+  std::map<std::string, int64_t> fires KVEC_GUARDED_BY(mutex);
 };
 
 // Leaked on purpose: points may be crossed during static teardown.
 Registry& GetRegistry() {
+  // kvec-lint: allow-next(naked-new) leaked teardown-safe singleton
   static auto* registry = new Registry();
   return *registry;
 }
@@ -29,7 +32,7 @@ std::atomic<int> g_armed_count{0};
 
 void FaultInjection::Arm(const std::string& point, Hook hook) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto [it, inserted] = registry.hooks.emplace(point, std::move(hook));
   if (!inserted) {
     it->second = std::move(hook);
@@ -40,7 +43,7 @@ void FaultInjection::Arm(const std::string& point, Hook hook) {
 
 void FaultInjection::Disarm(const std::string& point) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (registry.hooks.erase(point) > 0) {
     g_armed_count.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -48,7 +51,7 @@ void FaultInjection::Disarm(const std::string& point) {
 
 void FaultInjection::DisarmAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   g_armed_count.fetch_sub(static_cast<int>(registry.hooks.size()),
                           std::memory_order_relaxed);
   registry.hooks.clear();
@@ -56,7 +59,7 @@ void FaultInjection::DisarmAll() {
 
 int64_t FaultInjection::FireCount(const std::string& point) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto it = registry.fires.find(point);
   return it == registry.fires.end() ? 0 : it->second;
 }
@@ -69,7 +72,7 @@ bool FaultInjection::Fire(const char* point) {
   Hook hook;
   {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     auto it = registry.hooks.find(point);
     if (it == registry.hooks.end()) return false;
     hook = it->second;  // copy: the hook runs outside the lock below

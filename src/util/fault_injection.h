@@ -27,8 +27,7 @@
 // KVEC_NO_FAULT_INJECTION to compile every point out entirely for
 // zero-cost release builds; the default build keeps them so the stock
 // test suite (and TSan CI job) can exercise the overload paths.
-#ifndef KVEC_UTIL_FAULT_INJECTION_H_
-#define KVEC_UTIL_FAULT_INJECTION_H_
+#pragma once
 
 #include <functional>
 #include <string>
@@ -69,4 +68,3 @@ class FaultInjection {
 
 }  // namespace kvec
 
-#endif  // KVEC_UTIL_FAULT_INJECTION_H_

@@ -4,8 +4,7 @@
 // sampling, data generation) draw from an explicitly threaded `Rng` so that
 // every experiment is reproducible from a single seed. The generator is
 // xoshiro256**, seeded through splitmix64.
-#ifndef KVEC_UTIL_RNG_H_
-#define KVEC_UTIL_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,4 +63,3 @@ class Rng {
 
 }  // namespace kvec
 
-#endif  // KVEC_UTIL_RNG_H_

@@ -19,8 +19,7 @@
 // version, and length-prefixed sections keyed by an integer id. Readers
 // skip sections whose id they do not recognise, so a version bump is only
 // needed when an existing section's payload layout changes.
-#ifndef KVEC_UTIL_SERIALIZE_H_
-#define KVEC_UTIL_SERIALIZE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -133,4 +132,3 @@ bool CheckpointLoad(const std::string& path, Checkpoint* out);
 
 }  // namespace kvec
 
-#endif  // KVEC_UTIL_SERIALIZE_H_

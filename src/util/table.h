@@ -3,8 +3,7 @@
 // Every figure- or table-reproducing binary prints its result through a
 // `Table`, which renders an aligned text table to stdout and can also be
 // saved as CSV (used by the sweep cache).
-#ifndef KVEC_UTIL_TABLE_H_
-#define KVEC_UTIL_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -39,4 +38,3 @@ class Table {
 
 }  // namespace kvec
 
-#endif  // KVEC_UTIL_TABLE_H_

@@ -19,17 +19,21 @@
 //    ThreadPool::DefaultThreadCount() workers: $KVEC_NUM_THREADS if set,
 //    else std::thread::hardware_concurrency(). ThreadPool::SetGlobalThreads
 //    resizes it at runtime (e.g., to pin serving to one core).
-#ifndef KVEC_UTIL_THREAD_POOL_H_
-#define KVEC_UTIL_THREAD_POOL_H_
+//
+// The chunk queue and shutdown flag are KVEC_GUARDED_BY the pool mutex
+// (util/mutex.h), so the scheduler's lock discipline is enforced by clang
+// -Wthread-safety, not just by review.
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kvec {
 
@@ -76,10 +80,10 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<Chunk> queue_;  // guarded by mutex_
-  bool shutdown_ = false;    // guarded by mutex_
+  mutable Mutex mutex_;
+  CondVar wake_;  // signalled when chunks arrive or shutdown begins
+  std::deque<Chunk> queue_ KVEC_GUARDED_BY(mutex_);
+  bool shutdown_ KVEC_GUARDED_BY(mutex_) = false;
 };
 
 // Convenience wrapper over the global pool.
@@ -109,5 +113,3 @@ void ParallelForThreshold(long long work, long long work_threshold, int n,
 }
 
 }  // namespace kvec
-
-#endif  // KVEC_UTIL_THREAD_POOL_H_

@@ -1,6 +1,5 @@
 // Finite-difference gradient checking for autograd tests.
-#ifndef KVEC_TESTS_GRADCHECK_H_
-#define KVEC_TESTS_GRADCHECK_H_
+#pragma once
 
 #include <cmath>
 #include <functional>
@@ -51,4 +50,3 @@ inline void ExpectGradientsMatch(const std::vector<Tensor>& inputs,
 }  // namespace testing
 }  // namespace kvec
 
-#endif  // KVEC_TESTS_GRADCHECK_H_

@@ -1,0 +1,4 @@
+// Fixture: a header the lint pass must accept.
+#pragma once
+
+inline int FixtureClean() { return 7; }

@@ -1,0 +1,7 @@
+// Fixture: fires bad-allow — a suppression without a reason and one
+// naming an unknown rule.
+int* FixtureBadAllow() {
+  int* p = new int(5);  // kvec-lint: allow(naked-new)
+  delete p;             // kvec-lint: allow(no-such-rule) because
+  return nullptr;
+}

@@ -1,0 +1,9 @@
+// Fixture: fires banned-call — all three banned families.
+#include <cstdlib>
+#include <ctime>
+
+long FixtureBanned() {
+  long seed = static_cast<long>(time(nullptr));
+  seed += std::rand();
+  return seed;
+}

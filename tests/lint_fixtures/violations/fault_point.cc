@@ -1,0 +1,6 @@
+// Fixture: fires fault-point-doc — the point below is not in SERVING.md.
+#include "util/fault_injection.h"
+
+bool FixtureFaultPoint() {
+  return KVEC_FAULT_POINT("lint_fixture.undocumented_point");
+}

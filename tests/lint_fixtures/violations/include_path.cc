@@ -1,0 +1,7 @@
+// Fixture: fires include-path — relative traversal, a src/ prefix, and
+// an include that resolves nowhere.
+#include "../util/check.h"
+#include "src/util/check.h"
+#include "util/does_not_exist.h"
+
+int FixtureIncludePath() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: fires pragma-once — a header with an old-style guard only.
+#ifndef KVEC_LINT_FIXTURE_MISSING_PRAGMA_H_
+#define KVEC_LINT_FIXTURE_MISSING_PRAGMA_H_
+
+inline int FixtureMissingPragma() { return 1; }
+
+#endif  // KVEC_LINT_FIXTURE_MISSING_PRAGMA_H_

@@ -1,0 +1,6 @@
+// Fixture: fires naked-new — raw allocation outside the tensor layer.
+int* FixtureNakedNew() {
+  int* p = new int(3);
+  delete p;
+  return new int(4);
+}

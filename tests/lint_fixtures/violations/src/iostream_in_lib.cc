@@ -1,0 +1,5 @@
+// Fixture: fires iostream-outside-cli — a src/ file (not src/cli/)
+// writing to std::cout.
+#include <iostream>
+
+void FixtureIostream() { std::cout << "library code must not print\n"; }

@@ -1,0 +1,3 @@
+// Fixture: fires test-wiring — a .cc in a tests/ directory that the
+// *_test.cc CMake glob would silently never build or run.
+int FixtureStrayHelper() { return 42; }
