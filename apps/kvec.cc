@@ -1,7 +1,7 @@
 // The `kvec` driver binary — one subcommand-based CLI over the whole
-// pipeline (generate → train → eval/sweep → serve), built on the support
-// library in src/cli/. All logic lives there so tests/cli_test.cc can
-// drive the identical dispatch path in-process.
+// pipeline (generate → train → eval/sweep → serve/loadgen), built on the
+// support library in src/cli/. All logic lives there so tests/cli_test.cc
+// can drive the identical dispatch path in-process.
 #include "cli/subcommands.h"
 
 int main(int argc, char** argv) { return kvec::cli::KvecMain(argc, argv); }

@@ -1,0 +1,114 @@
+// TCP front-end micro benchmark: end-to-end loopback ingest through the
+// real stack — loadgen client(s) → framing → TcpIngestServer →
+// ShardedStreamServer::Submit — at 1 and 4 connections. items_per_second
+// is the headline; the p50/p99/p999 user counters come from the loadgen's
+// HdrHistogram-style recorder, so the committed numbers carry tail
+// latency, not just throughput.
+//
+// The model is tiny and untrained: the point is the network path and the
+// framing/dispatch overhead around Submit, not inference quality. Each
+// iteration is one full loadgen run (connect + hello + all batches), so
+// connection setup is amortized over kItemsPerRun items exactly as a
+// short-lived client would see it.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_stream_server.h"
+#include "net/loadgen.h"
+#include "net/tcp_ingest_server.h"
+
+namespace kvec {
+namespace {
+
+constexpr int kItemsPerRun = 4096;
+constexpr int kBatchSize = 64;
+
+KvecModel MakeModel() {
+  DatasetSpec spec;
+  spec.name = "bench";
+  spec.value_fields = {{"field", 8}};
+  spec.num_classes = 2;
+  spec.max_keys_per_episode = 64;
+  spec.max_sequence_length = 64;
+  spec.max_episode_length = 64;
+  KvecConfig config = KvecConfig::ForSpec(spec);
+  config.embed_dim = 8;
+  config.state_dim = 8;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 8;
+  config.correlation.max_value_correlations = 4;
+  config.correlation.value_correlation_window = 16;
+  return KvecModel(config);
+}
+
+std::vector<Item> MakeStream(int count) {
+  std::vector<Item> items;
+  items.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Item item;
+    item.key = i % 512;
+    item.value = {i % 3};
+    item.time = i;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+void BM_LoopbackIngest(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel();
+  ShardedStreamServerConfig sharded;
+  sharded.num_shards = 2;
+  ShardedStreamServer server(model, sharded);
+
+  net::TcpIngestServerConfig net_config;
+  net_config.port = 0;
+  net_config.max_connections = connections + 1;
+  net_config.num_value_fields = model.config().spec.num_value_fields();
+  net_config.num_classes = model.config().spec.num_classes;
+  net::TcpIngestServer tcp(&server, net_config);
+  std::string error;
+  if (!tcp.Start(&error)) {
+    state.SkipWithError(("listen failed: " + error).c_str());
+    return;
+  }
+
+  const std::vector<Item> items = MakeStream(kItemsPerRun);
+  net::LoadgenConfig config;
+  config.client.port = tcp.port();
+  config.connections = connections;
+  config.batch_size = kBatchSize;
+  config.num_value_fields = net_config.num_value_fields;
+  config.num_classes = net_config.num_classes;
+
+  net::LatencySnapshot latency;
+  for (auto _ : state) {
+    net::LoadgenReport report;
+    if (!net::RunLoadgen(config, items, &report, &error)) {
+      state.SkipWithError(("loadgen failed: " + error).c_str());
+      break;
+    }
+    if (report.items_acked != kItemsPerRun) {
+      state.SkipWithError("not every item was acked");
+      break;
+    }
+    latency = report.latency;
+  }
+  tcp.Shutdown();
+  server.Drain();
+
+  state.SetItemsProcessed(state.iterations() * kItemsPerRun);
+  state.counters["connections"] = connections;
+  state.counters["batch_items"] = kBatchSize;
+  state.counters["p50_us"] = static_cast<double>(latency.p50_us);
+  state.counters["p99_us"] = static_cast<double>(latency.p99_us);
+  state.counters["p999_us"] = static_cast<double>(latency.p999_us);
+}
+BENCHMARK(BM_LoopbackIngest)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace kvec

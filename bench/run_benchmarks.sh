@@ -15,14 +15,20 @@
 #                    the PR-6 overload subsystem). Worker scaling needs real
 #                    cores — note num_cpus in the context block when reading
 #                    the committed numbers.
+#   BENCH_PR8.json — TCP front end (loopback loadgen → framing →
+#                    TcpIngestServer → Submit at 1/4 connections, with
+#                    p50/p99/p999 batch-round-trip latency as user
+#                    counters; the PR-8 network subsystem).
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6]
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6] [out_pr8]
 #   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
-#              micro_pipeline / micro_checkpoint / micro_stream_shard)
+#              micro_pipeline / micro_checkpoint / micro_stream_shard /
+#              micro_net)
 #   out_pr1    defaults to ./BENCH_PR1.json
 #   out_pr3    defaults to ./BENCH_PR3.json
 #   out_pr4    defaults to ./BENCH_PR4.json
 #   out_pr6    defaults to ./BENCH_PR6.json
+#   out_pr8    defaults to ./BENCH_PR8.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -34,6 +40,7 @@ OUT_PR1="${2:-BENCH_PR1.json}"
 OUT_PR3="${3:-BENCH_PR3.json}"
 OUT_PR4="${4:-BENCH_PR4.json}"
 OUT_PR6="${5:-BENCH_PR6.json}"
+OUT_PR8="${6:-BENCH_PR8.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -123,3 +130,12 @@ merge_reports "${TMP_DIR}/checkpoint.json" "${OUT_PR4}"
   --benchmark_out="${TMP_DIR}/workers.json" --benchmark_out_format=json
 
 merge_reports "${TMP_DIR}/workers.json" "${OUT_PR6}"
+
+# ---- PR 8: TCP front end (loopback serve path) ----
+
+"${BUILD_DIR}/micro_net" \
+  --benchmark_filter='BM_LoopbackIngest' \
+  --benchmark_min_time=0.5 \
+  --benchmark_out="${TMP_DIR}/net.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/net.json" "${OUT_PR8}"

@@ -16,6 +16,11 @@ Enforces the rules no off-the-shelf tool knows about this codebase
 * ``iostream-outside-cli`` — no ``std::cout``/``std::cerr`` outside the
                           CLI layer (the library reports through return
                           values and util/check.h).
+* ``raw-syscall``       — no naked socket syscalls (``socket``, ``bind``,
+                          ``connect``, ``send``/``recv`` families, ...)
+                          outside ``src/net/``; everything else talks to
+                          the network through net/socket.h, which owns
+                          deadlines, fault points, and EINTR handling.
 * ``test-wiring``       — every ``*.cc`` directly inside a ``tests/``
                           directory is named ``*_test.cc`` so the CMake
                           glob builds it and wires it into ctest (anything
@@ -53,6 +58,7 @@ RULES = (
     "banned-call",
     "pragma-once",
     "iostream-outside-cli",
+    "raw-syscall",
     "test-wiring",
     "include-path",
 )
@@ -69,6 +75,15 @@ BANNED = (
      "std::regex (heavy, locale-dependent; hand-roll the parse)"),
 )
 IOSTREAM = re.compile(r"\bstd::(cout|cerr)\b")
+# Socket syscalls, bare or ::-qualified. The lookbehind rejects member
+# calls (.connect / ->connect), qualified names (std::bind, Socket's own
+# CamelCase methods never match the lowercase list), and identifiers that
+# merely end in a syscall name.
+RAW_SYSCALL = re.compile(
+    r"(?<![\w.>:])(?:::\s*)?"
+    r"(socket|bind|listen|accept4?|connect|sendto|sendmsg|send|"
+    r"recvfrom|recvmsg|recv|setsockopt|getsockopt|getsockname|"
+    r"shutdown|poll)\s*\(")
 INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
 
@@ -167,6 +182,7 @@ def lint_file(file, repo_root, fault_doc, errors):
     in_tensor = "tensor" in comps
     in_cli = "cli" in comps
     in_src = "src" in comps
+    in_net = "net" in comps and in_src
     file_dir = os.path.dirname(file.path)
 
     def report(lineno, rule, message):
@@ -203,6 +219,14 @@ def lint_file(file, repo_root, fault_doc, errors):
         for pattern, what in BANNED:
             if pattern.search(line):
                 report(lineno, "banned-call", f"banned: {what}")
+
+        if not in_net:
+            syscall = RAW_SYSCALL.search(line)
+            if syscall:
+                report(lineno, "raw-syscall",
+                       f"naked socket syscall '{syscall.group(1)}' outside "
+                       "src/net/ (go through net/socket.h, which owns "
+                       "deadlines, fault points, and EINTR handling)")
 
         if in_src and not in_cli and IOSTREAM.search(line):
             report(lineno, "iostream-outside-cli",

@@ -7,9 +7,11 @@
 #include <cmath>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "cli/args.h"
 #include "cli/json_writer.h"
@@ -24,6 +26,8 @@
 #include "exp/method.h"
 #include "exp/sweep.h"
 #include "metrics/metrics.h"
+#include "net/loadgen.h"
+#include "net/tcp_ingest_server.h"
 #include "util/bounded_queue.h"
 #include "util/fault_injection.h"
 #include "util/mutex.h"
@@ -168,6 +172,33 @@ bool SpecCompatible(const DatasetSpec& model_spec,
       return false;
     }
   }
+  return true;
+}
+
+// Splits "HOST:PORT" for --listen/--connect. Port 0 is legal for --listen
+// (kernel-chosen ephemeral port, reported via --port-file).
+bool ParseHostPort(const std::string& text, std::string* host,
+                   uint16_t* port, std::string* error) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    *error = "expected HOST:PORT, got '" + text + "'";
+    return false;
+  }
+  *host = text.substr(0, colon);
+  int64_t value = 0;
+  for (size_t i = colon + 1; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      *error = "port must be numeric in '" + text + "'";
+      return false;
+    }
+    value = value * 10 + (text[i] - '0');
+    if (value > 65535) {
+      *error = "port out of range in '" + text + "'";
+      return false;
+    }
+  }
+  *port = static_cast<uint16_t>(value);
   return true;
 }
 
@@ -941,6 +972,140 @@ struct SigintScope {
   void (*previous)(int) = SIG_DFL;
 };
 
+// ---- kvec serve --listen (TCP front end) ---------------------------------
+
+struct ListenOptions {
+  std::string listen;     // HOST:PORT, port 0 = ephemeral
+  std::string port_file;  // written with the bound port, for scripts
+  int max_connections = 64;
+  uint32_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  int idle_timeout_ms = 30000;
+};
+
+// Serves over TCP until SIGINT, then drains in order: stop accepting →
+// drain connections (buffered requests still answered) → drain shard
+// queues → optional flush → optional checkpoint → exit 130. The replay
+// flags' dataset is only used for the model and its hello-shape here; the
+// stream itself arrives over the wire.
+int RunListenServe(const KvecModel& model,
+                   const ShardedStreamServerConfig& sharded_config,
+                   const ListenOptions& options,
+                   const std::string& load_checkpoint,
+                   const std::string& save_checkpoint, bool flush, bool json,
+                   std::ostream& out, std::ostream& err) {
+  std::string host;
+  uint16_t port = 0;
+  std::string error;
+  if (!ParseHostPort(options.listen, &host, &port, &error)) {
+    err << "kvec: --listen: " << error << "\n";
+    return kExitUsage;
+  }
+  ShardedStreamServer server(model, sharded_config);
+  if (!load_checkpoint.empty() && !server.LoadCheckpoint(load_checkpoint)) {
+    return RuntimeError("cannot restore checkpoint '" + load_checkpoint + "'",
+                        err);
+  }
+  net::TcpIngestServerConfig net_config;
+  net_config.host = host;
+  net_config.port = port;
+  net_config.max_connections = options.max_connections;
+  net_config.max_frame_bytes = options.max_frame_bytes;
+  net_config.idle_timeout_ms = options.idle_timeout_ms;
+  net_config.num_value_fields = model.config().spec.num_value_fields();
+  net_config.num_classes = model.config().spec.num_classes;
+  net::TcpIngestServer tcp(&server, net_config);
+  if (!tcp.Start(&error)) return RuntimeError(error, err);
+  // The listen line goes to stderr so --json stdout stays pure JSON;
+  // scripts should use --port-file rather than parsing this.
+  err << "kvec: listening on " << host << ":" << tcp.port() << "\n";
+  if (!options.port_file.empty()) {
+    std::ofstream port_file(options.port_file);
+    port_file << tcp.port() << "\n";
+    if (!port_file) {
+      return RuntimeError("cannot write port file '" + options.port_file + "'",
+                          err);
+    }
+  }
+
+  const int64_t processed_before = server.stats().items_processed;
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_serve_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  tcp.Shutdown();
+  server.Drain();
+  int64_t flush_events = 0;
+  if (flush) flush_events = static_cast<int64_t>(server.Flush().size());
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  const StreamServerStats stats = server.stats();
+  const net::TcpIngestServerStats net_stats = tcp.stats();
+  if (!save_checkpoint.empty() && !server.SaveCheckpoint(save_checkpoint)) {
+    return RuntimeError("cannot write checkpoint '" + save_checkpoint + "'",
+                        err);
+  }
+
+  if (json) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("listen").String(host + ":" + std::to_string(tcp.port()));
+    writer.Key("seconds").Double(seconds);
+    writer.Key("items_processed").Int(stats.items_processed -
+                                      processed_before);
+    writer.Key("flush_events").Int(flush_events);
+    writer.Key("interrupted").Bool(true);
+    writer.Key("overload").BeginObject();
+    writer.Key("items_submitted").Int(stats.items_submitted);
+    writer.Key("batches_shed").Int(stats.batches_shed);
+    writer.Key("items_shed").Int(stats.items_shed);
+    writer.EndObject();
+    writer.Key("net").BeginObject();
+    writer.Key("connections_accepted").Int(net_stats.connections_accepted);
+    writer.Key("connections_rejected").Int(net_stats.connections_rejected);
+    writer.Key("connections_evicted_idle")
+        .Int(net_stats.connections_evicted_idle);
+    writer.Key("frames_received").Int(net_stats.frames_received);
+    writer.Key("frames_malformed").Int(net_stats.frames_malformed);
+    writer.Key("batches_ingested").Int(net_stats.batches_ingested);
+    writer.Key("items_accepted").Int(net_stats.items_accepted);
+    writer.Key("items_shed").Int(net_stats.items_shed);
+    writer.Key("errors_sent").Int(net_stats.errors_sent);
+    writer.EndObject();
+    writer.Key("events").BeginObject();
+    writer.Key("sequences_classified").Int(stats.sequences_classified);
+    writer.Key("flush_classifications").Int(stats.flush_classifications);
+    writer.EndObject();
+    writer.EndObject();
+    out << writer.str();
+  } else {
+    out << "interrupted: drained connections and shard queues\n";
+    Table table({"stat", "value"});
+    table.AddRow({"seconds", Table::FormatDouble(seconds)});
+    table.AddRow({"items processed",
+                  std::to_string(stats.items_processed - processed_before)});
+    table.AddRow({"sequences classified",
+                  std::to_string(stats.sequences_classified)});
+    table.AddRow({"items submitted", std::to_string(stats.items_submitted)});
+    table.AddRow({"items shed", std::to_string(stats.items_shed)});
+    table.AddRow({"flush events", std::to_string(flush_events)});
+    table.AddRow({"connections accepted",
+                  std::to_string(net_stats.connections_accepted)});
+    table.AddRow({"connections rejected",
+                  std::to_string(net_stats.connections_rejected)});
+    table.AddRow({"idle evictions",
+                  std::to_string(net_stats.connections_evicted_idle)});
+    table.AddRow(
+        {"frames received", std::to_string(net_stats.frames_received)});
+    table.AddRow(
+        {"frames malformed", std::to_string(net_stats.frames_malformed)});
+    table.AddRow({"error frames sent", std::to_string(net_stats.errors_sent)});
+    out << table.ToText();
+  }
+  return kExitInterrupted;
+}
+
 int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err, bool bench) {
   ArgParser parser(bench ? "kvec bench" : "kvec serve");
@@ -982,6 +1147,43 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
       "save-checkpoint", "", "snapshot serving state after the replay");
   int64_t* repeat =
       bench ? parser.AddInt("repeat", 3, "measured repetitions") : nullptr;
+  // The TCP front end is a serve-only mode (bench measures local replay).
+  // Env knobs mirror KVEC_SHARD_WORKERS: flag > env > built-in default.
+  int64_t max_frame_default = net::kDefaultMaxFrameBytes;
+  if (const char* env = std::getenv("KVEC_NET_MAX_FRAME_BYTES")) {
+    max_frame_default = std::atoll(env);
+  }
+  int64_t net_idle_default = 30000;
+  if (const char* env = std::getenv("KVEC_NET_IDLE_TIMEOUT_MS")) {
+    net_idle_default = std::atoll(env);
+  }
+  std::string* listen =
+      bench ? nullptr
+            : parser.AddString(
+                  "listen", "",
+                  "serve over TCP on HOST:PORT instead of replaying locally "
+                  "(port 0 = kernel-chosen, see --port-file); SIGINT drains "
+                  "and exits 130");
+  std::string* port_file =
+      bench ? nullptr
+            : parser.AddString("port-file", "",
+                               "write the bound TCP port to this file once "
+                               "listening (for scripts using --listen ...:0)");
+  int64_t* max_connections =
+      bench ? nullptr
+            : parser.AddInt("max-connections", 64,
+                            "TCP connection cap; excess connections get an "
+                            "OVERLOADED error frame");
+  int64_t* max_frame_bytes =
+      bench ? nullptr
+            : parser.AddInt("max-frame-bytes", max_frame_default,
+                            "reject frames with larger payloads as MALFORMED "
+                            "(default from KVEC_NET_MAX_FRAME_BYTES)");
+  int64_t* net_idle_timeout =
+      bench ? nullptr
+            : parser.AddInt("net-idle-timeout-ms", net_idle_default,
+                            "evict connections that complete no frame for "
+                            "this long (default from KVEC_NET_IDLE_TIMEOUT_MS)");
   bool* json = parser.AddBool("json", false, "emit JSON instead of tables");
   if (!parser.Parse(args)) return UsageError(parser, err);
   if (parser.help_requested()) {
@@ -1061,6 +1263,39 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
   server_config.max_window_items = static_cast<int>(*max_window);
   server_config.idle_timeout = static_cast<int>(*idle_timeout);
   server_config.max_open_keys = static_cast<int>(*max_open_keys);
+
+  if (listen != nullptr && !listen->empty()) {
+    if (*max_connections <= 0) {
+      err << "kvec: --max-connections must be > 0, got " << *max_connections
+          << "\n";
+      return kExitUsage;
+    }
+    if (*max_frame_bytes <= 0 || *max_frame_bytes > (1LL << 31)) {
+      err << "kvec: --max-frame-bytes must be in (0, 2^31], got "
+          << *max_frame_bytes << "\n";
+      return kExitUsage;
+    }
+    if (*net_idle_timeout <= 0) {
+      err << "kvec: --net-idle-timeout-ms must be > 0, got "
+          << *net_idle_timeout << "\n";
+      return kExitUsage;
+    }
+    ShardedStreamServerConfig sharded_config;
+    sharded_config.num_shards = static_cast<int>(*shards);
+    sharded_config.worker_threads = static_cast<int>(*workers);
+    sharded_config.queue_depth = static_cast<int>(*queue_depth);
+    sharded_config.overload_policy = overload_policy;
+    sharded_config.shard = server_config;
+    ListenOptions options;
+    options.listen = *listen;
+    options.port_file = *port_file;
+    options.max_connections = static_cast<int>(*max_connections);
+    options.max_frame_bytes = static_cast<uint32_t>(*max_frame_bytes);
+    options.idle_timeout_ms = static_cast<int>(*net_idle_timeout);
+    SigintScope listen_sigint(true);
+    return RunListenServe(*model, sharded_config, options, *load_checkpoint,
+                          *save_checkpoint, *flush, *json, out, err);
+  }
 
   const int runs = bench ? std::max<int>(1, static_cast<int>(*repeat)) : 1;
   // serve handles SIGINT gracefully (drain, per-shard report, checkpoint,
@@ -1170,6 +1405,153 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   return best->interrupted ? kExitInterrupted : kExitOk;
+}
+
+// ---- kvec loadgen --------------------------------------------------------
+
+int RunLoadgenCommand(const std::vector<std::string>& args, std::ostream& out,
+                      std::ostream& err) {
+  ArgParser parser("kvec loadgen");
+  DatasetFlags dataset_flags = AddDatasetFlags(&parser, "ustc");
+  std::string* split = parser.AddString(
+      "split", "test", "which split to replay: train|validation|test");
+  std::string* connect = parser.AddString(
+      "connect", "", "server HOST:PORT to drive (kvec serve --listen)");
+  int64_t* connections = parser.AddInt(
+      "connections", 1, "concurrent client connections (one thread each)");
+  int64_t* batch =
+      parser.AddInt("batch", 64, "items per ingest frame");
+  double* rate = parser.AddDouble(
+      "rate", 0.0,
+      "microbatches/sec per connection (0 = as fast as acks return)");
+  int64_t* timeout_ms = parser.AddInt(
+      "timeout-ms", 2000, "per-request deadline (connect and round trip)");
+  int64_t* retries = parser.AddInt(
+      "retries", 5, "retry budget per batch beyond the first attempt");
+  int64_t* backoff_ms = parser.AddInt(
+      "backoff-ms", 10, "initial retry backoff (doubles per attempt, "
+                        "jittered)");
+  int64_t* backoff_cap_ms = parser.AddInt(
+      "backoff-cap-ms", 1000, "exponential backoff growth stops here");
+  bool* json = parser.AddBool("json", false, "emit JSON instead of tables");
+  if (!parser.Parse(args)) return UsageError(parser, err);
+  if (parser.help_requested()) {
+    err << parser.Usage();
+    return kExitOk;
+  }
+  if (connect->empty()) {
+    err << "kvec: --connect HOST:PORT is required\n" << parser.Usage();
+    return kExitUsage;
+  }
+  std::string host;
+  uint16_t port = 0;
+  std::string error;
+  if (!ParseHostPort(*connect, &host, &port, &error) || port == 0) {
+    err << "kvec: --connect: "
+        << (port == 0 && error.empty() ? "port must be nonzero" : error)
+        << "\n";
+    return kExitUsage;
+  }
+  if (*connections <= 0 || *batch <= 0 || *timeout_ms <= 0 ||
+      *retries < 0 || *backoff_ms < 0 || *backoff_cap_ms < *backoff_ms ||
+      *rate < 0) {
+    err << "kvec: loadgen flags out of range (connections/batch/timeout-ms "
+           "> 0, retries/backoff-ms >= 0, backoff-cap-ms >= backoff-ms, "
+           "rate >= 0)\n";
+    return kExitUsage;
+  }
+
+  Dataset dataset;
+  if (!ResolveDataset(dataset_flags, &dataset, &error)) {
+    return RuntimeError(error, err);
+  }
+  const std::vector<TangledSequence>* episodes = SplitOf(dataset, *split);
+  if (episodes == nullptr) {
+    err << "kvec: --split must be train|validation|test, got '" << *split
+        << "'\n";
+    return kExitUsage;
+  }
+  std::map<int, int> truth;  // unused: verdicts surface on the server side
+  const std::vector<Item> stream = InterleaveEpisodes(
+      *episodes, dataset.spec.max_keys_per_episode, &truth);
+
+  net::LoadgenConfig config;
+  config.client.host = host;
+  config.client.port = port;
+  config.client.connect_timeout_ms = static_cast<int>(*timeout_ms);
+  config.client.request_timeout_ms = static_cast<int>(*timeout_ms);
+  config.connections = static_cast<int>(*connections);
+  config.batch_size = static_cast<int>(*batch);
+  config.rate = *rate;
+  config.retries = static_cast<int>(*retries);
+  config.backoff_ms = static_cast<int>(*backoff_ms);
+  config.backoff_cap_ms = static_cast<int>(*backoff_cap_ms);
+  config.seed = static_cast<uint64_t>(*dataset_flags.seed);
+  config.num_value_fields = dataset.spec.num_value_fields();
+  config.num_classes = dataset.spec.num_classes;
+
+  net::LoadgenReport report;
+  if (!net::RunLoadgen(config, stream, &report, &error)) {
+    return RuntimeError(error, err);
+  }
+
+  if (*json) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("connect").String(*connect);
+    writer.Key("connections").Int(*connections);
+    writer.Key("batch").Int(*batch);
+    writer.Key("batches_sent").Int(report.batches_sent);
+    writer.Key("batches_failed").Int(report.batches_failed);
+    writer.Key("items_acked").Int(report.items_acked);
+    writer.Key("items_shed").Int(report.items_shed);
+    writer.Key("retries").Int(report.retries);
+    writer.Key("overloaded_replies").Int(report.overloaded_replies);
+    writer.Key("reconnects").Int(report.reconnects);
+    writer.Key("elapsed_ms").Int(report.elapsed_ms);
+    writer.Key("batches_per_sec").Double(report.batches_per_sec, 1);
+    writer.Key("items_per_sec").Double(report.items_per_sec, 1);
+    writer.Key("latency_us").BeginObject();
+    writer.Key("count").Int(report.latency.count);
+    writer.Key("min").Int(report.latency.min_us);
+    writer.Key("mean").Double(report.latency.mean_us, 1);
+    writer.Key("p50").Int(report.latency.p50_us);
+    writer.Key("p90").Int(report.latency.p90_us);
+    writer.Key("p99").Int(report.latency.p99_us);
+    writer.Key("p999").Int(report.latency.p999_us);
+    writer.Key("max").Int(report.latency.max_us);
+    writer.EndObject();
+    writer.EndObject();
+    out << writer.str();
+  } else {
+    out << *connect << ", " << *connections << " connection(s), batch "
+        << *batch << ":\n";
+    Table table({"stat", "value"});
+    table.AddRow({"batches sent", std::to_string(report.batches_sent)});
+    table.AddRow({"batches failed", std::to_string(report.batches_failed)});
+    table.AddRow({"items acked", std::to_string(report.items_acked)});
+    table.AddRow({"items shed", std::to_string(report.items_shed)});
+    table.AddRow({"retries", std::to_string(report.retries)});
+    table.AddRow(
+        {"overloaded replies", std::to_string(report.overloaded_replies)});
+    table.AddRow({"reconnects", std::to_string(report.reconnects)});
+    table.AddRow({"elapsed ms", std::to_string(report.elapsed_ms)});
+    table.AddRow(
+        {"batches/sec", Table::FormatDouble(report.batches_per_sec, 1)});
+    table.AddRow({"items/sec", Table::FormatDouble(report.items_per_sec, 1)});
+    table.AddRow({"latency p50 us", std::to_string(report.latency.p50_us)});
+    table.AddRow({"latency p99 us", std::to_string(report.latency.p99_us)});
+    table.AddRow(
+        {"latency p999 us", std::to_string(report.latency.p999_us)});
+    table.AddRow({"latency max us", std::to_string(report.latency.max_us)});
+    out << table.ToText();
+  }
+  // "It ran" is not success if nothing was delivered: a server that
+  // rejected or dropped every batch should fail scripts loudly.
+  if (report.batches_sent == 0 && report.batches_failed > 0) {
+    return kExitRuntime;
+  }
+  return kExitOk;
 }
 
 // ---- kvec checkpoint -----------------------------------------------------
@@ -1299,6 +1681,8 @@ const std::vector<SubcommandInfo>& Subcommands() {
       {"eval", "evaluate a model bundle on a split (tables or JSON)"},
       {"sweep", "earliness/accuracy sweeps across methods (paper figures)"},
       {"serve", "replay a stream through the bounded/sharded serving stack"},
+      {"loadgen", "drive a kvec serve --listen endpoint over TCP with "
+                  "retry/backoff and latency percentiles"},
       {"bench", "end-to-end serving throughput measurement"},
       {"checkpoint", "inspect model bundles and serving checkpoints"},
   };
@@ -1321,6 +1705,7 @@ int RunKvecCli(const std::vector<std::string>& args, std::ostream& out,
   if (subcommand == "serve") {
     return RunServeOrBench(rest, out, err, /*bench=*/false);
   }
+  if (subcommand == "loadgen") return RunLoadgenCommand(rest, out, err);
   if (subcommand == "bench") {
     return RunServeOrBench(rest, out, err, /*bench=*/true);
   }

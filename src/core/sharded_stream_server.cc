@@ -281,12 +281,13 @@ std::vector<StreamEvent> ShardedStreamServer::ObserveBatch(
   return merged;
 }
 
-void ShardedStreamServer::Submit(const std::vector<Item>& items) {
+int64_t ShardedStreamServer::Submit(const std::vector<Item>& items) {
   const int num_shards = static_cast<int>(shards_.size());
   std::vector<std::vector<Item>> routed(num_shards);
   for (const Item& item : items) {
     routed[ShardOf(item.key)].push_back(item);
   }
+  int64_t shed_by_call = 0;
   for (int s = 0; s < num_shards; ++s) {
     if (routed[s].empty()) continue;
     Shard& shard = *shards_[s];
@@ -312,17 +313,23 @@ void ShardedStreamServer::Submit(const std::vector<Item>& items) {
         break;
       case BoundedQueue<ShardTask>::PushResult::kShedNewest:
         CountShed(&shard, 1, count);
+        shed_by_call += count;
         break;
       case BoundedQueue<ShardTask>::PushResult::kClosed:
         // Shutdown raced the producer; the batch was never accepted, so
         // account for it as shed rather than leaving it untracked.
         CountShed(&shard, 1, count);
+        shed_by_call += count;
         break;
     }
     for (const ShardTask& evicted : shed) {
-      CountShed(&shard, 1, static_cast<int64_t>(evicted.items.size()));
+      const int64_t evicted_items =
+          static_cast<int64_t>(evicted.items.size());
+      CountShed(&shard, 1, evicted_items);
+      shed_by_call += evicted_items;
     }
   }
+  return shed_by_call;
 }
 
 void ShardedStreamServer::Drain() {

@@ -121,7 +121,12 @@ class ShardedStreamServer {
   // stats); every dropped one is counted. After Drain() the overload
   // invariant holds: items_submitted == items_processed + items_shed.
   // Sync mode: runs inline (nothing to shed) with events to on_events.
-  void Submit(const std::vector<Item>& items);
+  // Returns how many items this call caused to be shed (0 = nothing
+  // dropped): the incoming sub-batches under kShedNewest, older queued
+  // batches under kShedOldest. This is what lets the TCP front end answer
+  // OVERLOADED per batch instead of discovering drops later in aggregate
+  // stats.
+  int64_t Submit(const std::vector<Item>& items);
 
   // Blocks until every task enqueued before this call has been processed.
   // Sync mode: no-op. Does not stop concurrent producers — quiescing is

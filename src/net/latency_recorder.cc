@@ -1,0 +1,106 @@
+#include "net/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kvec {
+namespace net {
+namespace {
+
+// 32 sub-buckets per power-of-two range: relative error <= 1/32.
+constexpr int kSubBucketBits = 5;
+constexpr int64_t kSubBucketCount = int64_t{1} << kSubBucketBits;
+// Highest exponent tracked exactly: values above ~2^41 µs (~25 days)
+// clamp into the top bucket, which no sane benchmark ever reaches.
+constexpr int kMaxExponent = 41;
+constexpr size_t kNumBuckets =
+    static_cast<size_t>(kSubBucketCount +
+                        (kMaxExponent - kSubBucketBits + 1) * kSubBucketCount);
+
+int FloorLog2(uint64_t value) {
+  int log = 0;
+  while (value >>= 1) ++log;
+  return log;
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : buckets_(kNumBuckets, 0) {}
+
+size_t LatencyRecorder::BucketIndex(int64_t micros) {
+  if (micros < 0) micros = 0;
+  if (micros < kSubBucketCount) return static_cast<size_t>(micros);
+  int exponent = FloorLog2(static_cast<uint64_t>(micros));
+  if (exponent > kMaxExponent) {
+    return kNumBuckets - 1;
+  }
+  const int group = exponent - kSubBucketBits;
+  const int64_t sub =
+      (micros >> group) - kSubBucketCount;  // 0 .. kSubBucketCount-1
+  return static_cast<size_t>(kSubBucketCount + group * kSubBucketCount + sub);
+}
+
+int64_t LatencyRecorder::BucketUpperBoundUs(size_t index) {
+  if (index < static_cast<size_t>(kSubBucketCount)) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t offset = index - kSubBucketCount;
+  const int group = static_cast<int>(offset / kSubBucketCount);
+  const int64_t sub = static_cast<int64_t>(offset % kSubBucketCount);
+  const int64_t lower = (kSubBucketCount + sub) << group;
+  return lower + ((int64_t{1} << group) - 1);
+}
+
+void LatencyRecorder::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketIndex(micros)] += 1;
+  if (count_ == 0 || micros < min_us_) min_us_ = micros;
+  if (micros > max_us_) max_us_ = micros;
+  sum_us_ += micros;
+  count_ += 1;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_us_ < min_us_) min_us_ = other.min_us_;
+  if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+  sum_us_ += other.sum_us_;
+  count_ += other.count_;
+}
+
+int64_t LatencyRecorder::PercentileUs(double q) const {
+  if (count_ == 0) return 0;
+  q = std::max(0.0, std::min(1.0, q));
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * count_)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      // Never report beyond the observed extremes (the bucket's upper
+      // bound can exceed max for sparse tails).
+      return std::min(BucketUpperBoundUs(i), max_us_);
+    }
+  }
+  return max_us_;
+}
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  LatencySnapshot snapshot;
+  snapshot.count = count_;
+  if (count_ == 0) return snapshot;
+  snapshot.min_us = min_us_;
+  snapshot.max_us = max_us_;
+  snapshot.mean_us = static_cast<double>(sum_us_) / count_;
+  snapshot.p50_us = PercentileUs(0.50);
+  snapshot.p90_us = PercentileUs(0.90);
+  snapshot.p99_us = PercentileUs(0.99);
+  snapshot.p999_us = PercentileUs(0.999);
+  return snapshot;
+}
+
+}  // namespace net
+}  // namespace kvec

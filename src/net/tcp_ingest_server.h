@@ -1,0 +1,154 @@
+// Fault-tolerant TCP front end for the sharded stream server.
+//
+// The serving core (core/sharded_stream_server.h) assumes a well-behaved
+// in-process caller. A network peer offers no such guarantee: it can send
+// garbage, stall mid-frame, vanish mid-batch, or push faster than the
+// shards drain. This server turns each of those into a bounded, observable
+// outcome instead of a hung thread or unbounded buffer:
+//
+//   * One handler thread per connection, capped at `max_connections`;
+//     excess connections get an OVERLOADED error frame and are closed
+//     before they can consume a thread.
+//   * All parsing goes through FrameDecoder (net/frame.h): magic, version
+//     and the length prefix are validated before any payload buffering,
+//     and a malformed stream earns one MALFORMED error frame and a close —
+//     a desynchronized byte stream is never resynchronized by guessing.
+//   * A connection must present a complete frame every `idle_timeout_ms`
+//     or it is evicted (the deadline resets per *frame*, not per byte, so
+//     a slow-loris peer dripping single bytes still trips it). Writes are
+//     bounded by `io_timeout_ms`.
+//   * Ingest overload surfaces per batch: Submit()'s shed count becomes an
+//     OVERLOADED error frame carrying accepted/shed, telling the client to
+//     back off — composing with the shard queues' overload policies rather
+//     than hiding them.
+//   * Shutdown() is a drain, not an abort: stop accepting, half-close
+//     every connection (ShutdownRead — the handler sees EOF, finishes the
+//     requests already buffered, flushes responses, exits), join. The
+//     caller then drains the shards and checkpoints; accepted work is
+//     never dropped (the PR-6 overload invariant extends to the wire).
+//
+// Fault points on the socket layer (`net.accept`, `net.read_frame`,
+// `net.write_frame`, `net.deadline`) let tests force every one of those
+// paths deterministically; see docs/SERVING.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_stream_server.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace kvec {
+namespace net {
+
+struct TcpIngestServerConfig {
+  std::string host = "127.0.0.1";
+  // 0 = let the kernel pick an ephemeral port; read it back via port().
+  uint16_t port = 0;
+  int backlog = 64;
+  // Hard cap on concurrent connections (== handler threads).
+  int max_connections = 64;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // A connection that completes no frame for this long is evicted.
+  int idle_timeout_ms = 30000;
+  // Deadline for writing one response frame (and for one read slice).
+  int io_timeout_ms = 5000;
+  // The dataset shape hello frames must match (the served model's shape).
+  int num_value_fields = 0;
+  int num_classes = 0;
+};
+
+// Monotonic counters; snapshot via stats(). All maintained with relaxed
+// atomics — they are diagnostics, not synchronization.
+struct TcpIngestServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;  // over max_connections
+  int64_t connections_evicted_idle = 0;
+  int64_t frames_received = 0;
+  int64_t frames_malformed = 0;
+  int64_t batches_ingested = 0;
+  int64_t items_accepted = 0;
+  int64_t items_shed = 0;   // shed at ingest, reported as OVERLOADED
+  int64_t errors_sent = 0;  // error frames successfully written
+};
+
+class TcpIngestServer {
+ public:
+  // `server` must be trained/configured and outlive this object. Nothing
+  // starts until Start().
+  TcpIngestServer(ShardedStreamServer* server,
+                  const TcpIngestServerConfig& config);
+  ~TcpIngestServer();
+
+  TcpIngestServer(const TcpIngestServer&) = delete;
+  TcpIngestServer& operator=(const TcpIngestServer&) = delete;
+
+  // Binds and starts the accept thread. False + `*error` on bind failure.
+  bool Start(std::string* error);
+
+  // The bound port (the kernel's pick when config.port was 0).
+  uint16_t port() const { return listener_.port(); }
+
+  // Graceful drain: stop accepting, half-close every live connection,
+  // join all handler threads. Buffered requests are still answered; new
+  // ones get EOF. Idempotent; also runs from the destructor. The caller
+  // remains responsible for draining the shard queues afterwards.
+  void Shutdown();
+
+  bool running() const { return started_ && !stopping_.load(); }
+  TcpIngestServerStats stats() const;
+  int active_connections() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    // Set by the handler as its last act; lets the accept loop reap
+    // finished connections without joining live ones.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  // Dispatches one decoded frame; returns false when the connection must
+  // close (malformed payload or a failed response write).
+  bool HandleFrame(Connection* conn, const Frame& frame, bool* hello_done);
+  // Encodes and writes `frame` under io_timeout_ms.
+  bool WriteFrame(Connection* conn, const Frame& frame);
+  bool WriteError(Connection* conn, uint64_t request_id, ErrorCode code,
+                  const std::string& message, int64_t accepted = 0,
+                  int64_t shed = 0);
+  // Joins and erases connections whose handler has finished.
+  void ReapFinished();
+
+  ShardedStreamServer* const server_;
+  const TcpIngestServerConfig config_;
+  ListenSocket listener_;
+  std::thread accept_thread_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      KVEC_GUARDED_BY(mutex_);
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> connections_evicted_idle_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> frames_malformed_{0};
+  std::atomic<int64_t> batches_ingested_{0};
+  std::atomic<int64_t> items_accepted_{0};
+  std::atomic<int64_t> items_shed_{0};
+  std::atomic<int64_t> errors_sent_{0};
+};
+
+}  // namespace net
+}  // namespace kvec

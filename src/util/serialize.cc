@@ -15,6 +15,7 @@ constexpr int32_t kTagFloat = 0x4b561003;
 constexpr int32_t kTagString = 0x4b561004;
 constexpr int32_t kTagFloatVec = 0x4b561005;
 constexpr int32_t kTagIntVec = 0x4b561006;
+constexpr int32_t kTagDouble = 0x4b561007;
 
 }  // namespace
 
@@ -35,6 +36,11 @@ void BinaryWriter::WriteInt64(int64_t value) {
 
 void BinaryWriter::WriteFloat(float value) {
   Append(&kTagFloat, sizeof(kTagFloat));
+  Append(&value, sizeof(value));
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  Append(&kTagDouble, sizeof(kTagDouble));
   Append(&value, sizeof(value));
 }
 
@@ -136,6 +142,13 @@ float BinaryReader::ReadFloat() {
   float value = 0.0f;
   Consume(&value, sizeof(value));
   return ok_ ? value : 0.0f;
+}
+
+double BinaryReader::ReadDouble() {
+  if (!ConsumeTag(kTagDouble)) return 0.0;
+  double value = 0.0;
+  Consume(&value, sizeof(value));
+  return ok_ ? value : 0.0;
 }
 
 std::string BinaryReader::ReadString() {

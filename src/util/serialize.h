@@ -32,6 +32,7 @@ class BinaryWriter {
   void WriteInt32(int32_t value);
   void WriteInt64(int64_t value);
   void WriteFloat(float value);
+  void WriteDouble(double value);
   void WriteString(const std::string& value);
   void WriteFloatVector(const std::vector<float>& values);
   // Same wire format as WriteFloatVector, straight from a raw buffer (no
@@ -62,6 +63,7 @@ class BinaryReader {
   int32_t ReadInt32();
   int64_t ReadInt64();
   float ReadFloat();
+  double ReadDouble();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
   std::vector<int> ReadIntVector();

@@ -1,0 +1,8 @@
+// Fixture: fires raw-syscall — naked socket syscalls outside src/net/.
+#include <cstddef>
+
+int FixtureRawSyscall(int fd, const void* data, std::size_t size) {
+  int sock = socket(2, 1, 0);            // bare call
+  ::connect(sock, nullptr, 0);           // ::-qualified call
+  return static_cast<int>(send(fd, data, size, 0));
+}

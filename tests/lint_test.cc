@@ -89,7 +89,7 @@ TEST(LintTest, ViolationFixturesFlagEveryRule) {
   const char* kExpected[] = {
       "[fault-point-doc]",  "[naked-new]",   "[banned-call]",
       "[pragma-once]",      "[iostream-outside-cli]",
-      "[test-wiring]",      "[include-path]",
+      "[raw-syscall]",      "[test-wiring]", "[include-path]",
       // Not a configurable rule but a linter invariant: suppressions must
       // name a real rule and carry a reason.
       "[bad-allow]",

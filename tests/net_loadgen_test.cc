@@ -1,0 +1,325 @@
+// The load generator: latency percentile math, the end-to-end loadgen
+// loop against a real loopback server, retry/reconnect under injected
+// faults, and the CLI round trip (`kvec serve --listen` + `kvec loadgen`
+// + SIGINT drain → exit 130).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "cli/subcommands.h"
+#include "core/sharded_stream_server.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/traffic_generator.h"
+#include "gtest/gtest.h"
+#include "net/latency_recorder.h"
+#include "net/loadgen.h"
+#include "net/tcp_ingest_server.h"
+#include "util/fault_injection.h"
+
+namespace kvec {
+namespace net {
+namespace {
+
+class NetLoadgenTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::DisarmAll(); }
+};
+
+// ---- LatencyRecorder -----------------------------------------------------
+
+TEST_F(NetLoadgenTest, RecorderIsExactBelowThirtyTwoMicros) {
+  LatencyRecorder recorder;
+  for (int64_t v = 0; v < 32; ++v) recorder.Record(v);
+  EXPECT_EQ(recorder.count(), 32);
+  EXPECT_EQ(recorder.PercentileUs(0.0), 0);
+  // ceil(0.5 * 32) = 16th smallest = value 15; exact buckets below 32.
+  EXPECT_EQ(recorder.PercentileUs(0.5), 15);
+  EXPECT_EQ(recorder.PercentileUs(1.0), 31);
+}
+
+TEST_F(NetLoadgenTest, RecorderBoundsRelativeErrorAtAllMagnitudes) {
+  LatencyRecorder recorder;
+  // One sample: every percentile is that sample, within 1/32 relative
+  // error from bucket quantization.
+  for (int64_t value :
+       {33LL, 100LL, 12345LL, 1000000LL, 87654321LL, 4102444800LL}) {
+    LatencyRecorder single;
+    single.Record(value);
+    for (double q : {0.5, 0.99, 0.999}) {
+      const int64_t reported = single.PercentileUs(q);
+      EXPECT_GE(reported, value - value / 32 - 1) << value;
+      EXPECT_LE(reported, value) << value;  // clamped to observed max
+    }
+    recorder.Record(value);
+  }
+  EXPECT_EQ(recorder.count(), 6);
+  EXPECT_EQ(recorder.PercentileUs(1.0), 4102444800LL);
+}
+
+TEST_F(NetLoadgenTest, RecorderPercentilesOrderedOnSkewedDistribution) {
+  LatencyRecorder recorder;
+  // 990 fast requests, 10 slow outliers: p50 fast, p999 slow.
+  for (int i = 0; i < 990; ++i) recorder.Record(100 + i % 7);
+  for (int i = 0; i < 10; ++i) recorder.Record(50000 + i);
+  const LatencySnapshot snapshot = recorder.Snapshot();
+  EXPECT_EQ(snapshot.count, 1000);
+  EXPECT_LT(snapshot.p50_us, 120);
+  EXPECT_LT(snapshot.p90_us, 120);
+  EXPECT_LT(snapshot.p99_us, 120);
+  EXPECT_GT(snapshot.p999_us, 45000);
+  EXPECT_LE(snapshot.p50_us, snapshot.p90_us);
+  EXPECT_LE(snapshot.p90_us, snapshot.p99_us);
+  EXPECT_LE(snapshot.p99_us, snapshot.p999_us);
+  EXPECT_LE(snapshot.p999_us, snapshot.max_us);
+  EXPECT_GE(snapshot.min_us, 100);
+}
+
+TEST_F(NetLoadgenTest, RecorderMergeMatchesSingleRecorder) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder whole;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t value = 37 * i + 11;
+    (i % 2 == 0 ? a : b).Record(value);
+    whole.Record(value);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.PercentileUs(q), whole.PercentileUs(q)) << q;
+  }
+  const LatencySnapshot merged = a.Snapshot();
+  const LatencySnapshot single = whole.Snapshot();
+  EXPECT_EQ(merged.min_us, single.min_us);
+  EXPECT_EQ(merged.max_us, single.max_us);
+  EXPECT_DOUBLE_EQ(merged.mean_us, single.mean_us);
+}
+
+TEST_F(NetLoadgenTest, RecorderEmptySnapshotIsZero) {
+  const LatencySnapshot snapshot = LatencyRecorder().Snapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_EQ(snapshot.p999_us, 0);
+}
+
+// ---- End-to-end loadgen --------------------------------------------------
+
+struct Harness {
+  Dataset dataset;
+  std::unique_ptr<KvecModel> model;
+  std::unique_ptr<ShardedStreamServer> server;
+  std::unique_ptr<TcpIngestServer> tcp;
+};
+
+std::unique_ptr<Harness> StartHarness() {
+  TrafficGeneratorConfig generator_config;
+  generator_config.num_classes = 2;
+  generator_config.concurrency = 3;
+  generator_config.avg_flow_length = 12.0;
+  generator_config.min_flow_length = 6;
+  TrafficGenerator generator(generator_config);
+  auto harness = std::make_unique<Harness>();
+  harness->dataset = GenerateDataset(generator, {10, 2, 6}, 21);
+  KvecConfig config = KvecConfig::ForSpec(harness->dataset.spec);
+  config.embed_dim = 12;
+  config.state_dim = 16;
+  config.num_blocks = 1;
+  config.ffn_hidden_dim = 16;
+  config.epochs = 2;
+  harness->model = std::make_unique<KvecModel>(config);
+  KvecTrainer trainer(harness->model.get());
+  trainer.Train(harness->dataset.train);
+
+  ShardedStreamServerConfig sharded;
+  sharded.num_shards = 2;
+  harness->server =
+      std::make_unique<ShardedStreamServer>(*harness->model, sharded);
+  TcpIngestServerConfig net_config;
+  net_config.port = 0;
+  net_config.num_value_fields =
+      harness->model->config().spec.num_value_fields();
+  net_config.num_classes = harness->model->config().spec.num_classes;
+  harness->tcp = std::make_unique<TcpIngestServer>(harness->server.get(),
+                                                   net_config);
+  std::string error;
+  EXPECT_TRUE(harness->tcp->Start(&error)) << error;
+  return harness;
+}
+
+LoadgenConfig HarnessLoadgenConfig(const Harness& harness) {
+  LoadgenConfig config;
+  config.client.port = harness.tcp->port();
+  config.num_value_fields = harness.model->config().spec.num_value_fields();
+  config.num_classes = harness.model->config().spec.num_classes;
+  config.batch_size = 16;
+  config.backoff_ms = 1;
+  config.backoff_cap_ms = 20;
+  return config;
+}
+
+std::vector<Item> HarnessStream(const Harness& harness, int count) {
+  std::vector<Item> items;
+  int offset = 0;
+  while (static_cast<int>(items.size()) < count) {
+    for (const TangledSequence& episode : harness.dataset.test) {
+      for (Item item : episode.items) {
+        item.key += offset;
+        items.push_back(std::move(item));
+        if (static_cast<int>(items.size()) == count) return items;
+      }
+      offset += 100;
+    }
+  }
+  return items;
+}
+
+TEST_F(NetLoadgenTest, DeliversEveryBatchAndReportsPercentiles) {
+  auto harness = StartHarness();
+  const std::vector<Item> items = HarnessStream(*harness, 96);
+  LoadgenConfig config = HarnessLoadgenConfig(*harness);
+  config.connections = 2;
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(config, items, &report, &error)) << error;
+  EXPECT_EQ(report.batches_failed, 0);
+  EXPECT_EQ(report.items_acked, 96);
+  EXPECT_EQ(report.batches_sent, 6);  // 48 items per connection / 16
+  EXPECT_EQ(report.latency.count, report.batches_sent);
+  // Loopback round trips are real: the percentiles must be nonzero,
+  // ordered, and bounded by the observed max.
+  EXPECT_GT(report.latency.p50_us, 0);
+  EXPECT_GE(report.latency.p99_us, report.latency.p50_us);
+  EXPECT_GE(report.latency.p999_us, report.latency.p99_us);
+  EXPECT_LE(report.latency.p999_us, report.latency.max_us);
+  EXPECT_GT(report.items_per_sec, 0.0);
+
+  harness->tcp->Shutdown();
+  harness->server->Drain();
+  const StreamServerStats stats = harness->server->stats();
+  EXPECT_EQ(stats.items_submitted, stats.items_processed + stats.items_shed);
+  EXPECT_EQ(stats.items_processed, 96);
+}
+
+TEST_F(NetLoadgenTest, PacedRateSpreadsBatchesOverTime) {
+  auto harness = StartHarness();
+  const std::vector<Item> items = HarnessStream(*harness, 64);
+  LoadgenConfig config = HarnessLoadgenConfig(*harness);
+  config.connections = 1;
+  config.rate = 50.0;  // 4 batches at 50/s → at least ~60ms of pacing
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(config, items, &report, &error)) << error;
+  EXPECT_EQ(report.batches_sent, 4);
+  EXPECT_GE(report.elapsed_ms, 50);
+}
+
+// Injected torn reads (`net.read_frame`) kill the first few round trips;
+// the loadgen must reconnect, re-hello, retry, and still deliver every
+// batch exactly as many times as it takes.
+TEST_F(NetLoadgenTest, RecoversFromInjectedDisconnects) {
+  auto harness = StartHarness();
+  std::atomic<int> remaining{3};
+  FaultInjection::Arm("net.read_frame", [&remaining](const char*) {
+    int value = remaining.load();
+    while (value > 0 &&
+           !remaining.compare_exchange_weak(value, value - 1)) {
+    }
+    return value > 0;
+  });
+  const std::vector<Item> items = HarnessStream(*harness, 48);
+  LoadgenConfig config = HarnessLoadgenConfig(*harness);
+  config.connections = 1;
+  config.retries = 10;
+  LoadgenReport report;
+  std::string error;
+  ASSERT_TRUE(RunLoadgen(config, items, &report, &error)) << error;
+  EXPECT_EQ(report.batches_failed, 0);
+  EXPECT_EQ(report.batches_sent, 3);
+  // The injected failures had to be survived, not avoided.
+  EXPECT_GT(report.retries + report.reconnects, 0);
+  // FireCount counts hook invocations; the hook returned true 3 times.
+  EXPECT_GE(FaultInjection::FireCount("net.read_frame"), 3);
+}
+
+TEST_F(NetLoadgenTest, ReportsFailureWhenNoServerListens) {
+  LoadgenConfig config;
+  config.client.port = 1;  // nothing listens on port 1
+  config.client.connect_timeout_ms = 200;
+  config.client.request_timeout_ms = 200;
+  config.retries = 0;
+  config.backoff_ms = 1;
+  config.backoff_cap_ms = 2;
+  std::vector<Item> items(4);
+  LoadgenReport report;
+  std::string error;
+  EXPECT_FALSE(RunLoadgen(config, items, &report, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- CLI round trip ------------------------------------------------------
+
+// The full reproduction path: `kvec serve --listen 127.0.0.1:0
+// --port-file ...` in a background thread, `kvec loadgen` against the
+// reported ephemeral port, then a SIGINT-equivalent interrupt that must
+// drain and exit 130 with coherent final counters.
+TEST_F(NetLoadgenTest, CliServeListenLoadgenInterruptRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("kvec_net_cli_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string port_file = (dir / "port").string();
+
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  int serve_code = -1;
+  std::thread serve_thread([&] {
+    serve_code = cli::RunKvecCli(
+        {"serve", "--preset", "ustc", "--scale", "tiny", "--episodes", "12",
+         "--listen", "127.0.0.1:0", "--port-file", port_file, "--shards",
+         "2", "--workers", "2", "--json"},
+        serve_out, serve_err);
+  });
+
+  // Wait for the ephemeral port to be reported.
+  std::string port;
+  for (int i = 0; i < 600 && port.empty(); ++i) {
+    std::ifstream in(port_file);
+    std::getline(in, port);
+    if (port.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_FALSE(port.empty()) << serve_err.str();
+
+  std::ostringstream loadgen_out;
+  std::ostringstream loadgen_err;
+  const int loadgen_code = cli::RunKvecCli(
+      {"loadgen", "--preset", "ustc", "--scale", "tiny", "--episodes", "12",
+       "--connect", "127.0.0.1:" + port, "--connections", "2", "--batch",
+       "32", "--json"},
+      loadgen_out, loadgen_err);
+  EXPECT_EQ(loadgen_code, 0) << loadgen_err.str();
+  EXPECT_NE(loadgen_out.str().find("\"p999\""), std::string::npos);
+  EXPECT_NE(loadgen_out.str().find("\"items_acked\""), std::string::npos);
+
+  cli::RequestServeInterrupt();
+  serve_thread.join();
+  EXPECT_EQ(serve_code, 130) << serve_err.str();
+  const std::string json = serve_out.str();
+  EXPECT_NE(json.find("\"interrupted\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"connections_accepted\": 2"), std::string::npos)
+      << json;
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kvec
