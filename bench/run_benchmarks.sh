@@ -19,16 +19,24 @@
 #                    TcpIngestServer → Submit at 1/4 connections, with
 #                    p50/p99/p999 batch-round-trip latency as user
 #                    counters; the PR-8 network subsystem).
+#   BENCH_PR9.json — bounded-memory serving (the `kvec soak` harness's
+#                    memory-vs-open-keys curve at 25k/50k/100k open keys:
+#                    peak steady-state RSS, upward drift vs the flatness
+#                    band, shard-pool resident bytes, scratch high water,
+#                    and compaction counts; the PR-9 memory subsystem).
+#                    The soak CLI emits this shape itself via --curve, and
+#                    the run FAILS if post-warm-up RSS trends upward.
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6] [out_pr8]
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6] [out_pr8] [out_pr9]
 #   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
 #              micro_pipeline / micro_checkpoint / micro_stream_shard /
-#              micro_net)
+#              micro_net, plus the kvec driver)
 #   out_pr1    defaults to ./BENCH_PR1.json
 #   out_pr3    defaults to ./BENCH_PR3.json
 #   out_pr4    defaults to ./BENCH_PR4.json
 #   out_pr6    defaults to ./BENCH_PR6.json
 #   out_pr8    defaults to ./BENCH_PR8.json
+#   out_pr9    defaults to ./BENCH_PR9.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -41,6 +49,7 @@ OUT_PR3="${3:-BENCH_PR3.json}"
 OUT_PR4="${4:-BENCH_PR4.json}"
 OUT_PR6="${5:-BENCH_PR6.json}"
 OUT_PR8="${6:-BENCH_PR8.json}"
+OUT_PR9="${7:-BENCH_PR9.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -139,3 +148,17 @@ merge_reports "${TMP_DIR}/workers.json" "${OUT_PR6}"
   --benchmark_out="${TMP_DIR}/net.json" --benchmark_out_format=json
 
 merge_reports "${TMP_DIR}/net.json" "${OUT_PR8}"
+
+# ---- PR 9: bounded-memory serving (soak memory-vs-open-keys curve) ----
+#
+# Not a Google Benchmark binary: the soak harness drives the real sharded
+# server and samples /proc RSS, so it writes the merged-report shape
+# directly. The run doubles as an assertion — a non-flat RSS trend exits
+# non-zero and fails the whole script. The soak fans ObserveBatch out over
+# the process ThreadPool, so it ignores the single-thread pinning above by
+# design; per-item cost comparisons live in BENCH_PR3/PR6, this file tracks
+# memory, not throughput.
+
+"${BUILD_DIR}/kvec" soak --keys 100000 --scales 0.25,0.5,1 \
+  --curve "${OUT_PR9}" --json > /dev/null
+echo "wrote ${OUT_PR9}"

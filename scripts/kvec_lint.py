@@ -28,6 +28,12 @@ Enforces the rules no off-the-shelf tool knows about this codebase
 * ``include-path``      — quoted includes of project headers use the
                           canonical src/-relative spelling (no ``../``,
                           no ``src/`` prefix) and resolve to a real file.
+* ``pool-discipline``   — per-key serving state allocates through
+                          util/arena.h (ShardPool / ScratchArena): no raw
+                          ``std::pmr`` resource primitives outside that
+                          wrapper, and no ``malloc``/``free`` family
+                          anywhere (a malloc'd block can never move into a
+                          compaction pool).
 
 Suppressions (a reason is mandatory):
 
@@ -61,6 +67,7 @@ RULES = (
     "raw-syscall",
     "test-wiring",
     "include-path",
+    "pool-discipline",
 )
 
 ALLOW = re.compile(r"//\s*kvec-lint:\s*allow(-next)?\(([a-z-]+)\)\s*(\S.*)?$")
@@ -85,6 +92,14 @@ RAW_SYSCALL = re.compile(
     r"recvfrom|recvmsg|recv|setsockopt|getsockopt|getsockname|"
     r"shutdown|poll)\s*\(")
 INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+# Raw pmr building blocks (the pool wrappers in util/arena.* are the one
+# sanctioned place to touch them) and the C allocation family.
+PMR_PRIMITIVE = re.compile(
+    r"\b(?:std::pmr::)?(unsynchronized_pool_resource|"
+    r"synchronized_pool_resource|monotonic_buffer_resource|"
+    r"new_delete_resource|pool_options)\b")
+MALLOC_FAMILY = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?"
+                           r"(malloc|calloc|realloc|free)\s*\(")
 
 
 def path_components(path):
@@ -183,6 +198,8 @@ def lint_file(file, repo_root, fault_doc, errors):
     in_cli = "cli" in comps
     in_src = "src" in comps
     in_net = "net" in comps and in_src
+    in_arena = (in_src and "util" in comps
+                and os.path.basename(file.path).startswith("arena."))
     file_dir = os.path.dirname(file.path)
 
     def report(lineno, rule, message):
@@ -227,6 +244,21 @@ def lint_file(file, repo_root, fault_doc, errors):
                        f"naked socket syscall '{syscall.group(1)}' outside "
                        "src/net/ (go through net/socket.h, which owns "
                        "deadlines, fault points, and EINTR handling)")
+
+        if not in_arena:
+            primitive = PMR_PRIMITIVE.search(line)
+            if primitive:
+                report(lineno, "pool-discipline",
+                       f"raw pmr primitive '{primitive.group(1)}' outside "
+                       "src/util/arena.* (per-key state goes through "
+                       "ShardPool / ScratchArena so compaction can account "
+                       "for and rebuild it)")
+        malloc_call = MALLOC_FAMILY.search(line)
+        if malloc_call:
+            report(lineno, "pool-discipline",
+                   f"C allocation call '{malloc_call.group(1)}' (a malloc'd "
+                   "block is invisible to the pool accounting; use "
+                   "containers over ShardPool / ScratchArena)")
 
         if in_src and not in_cli and IOSTREAM.search(line):
             report(lineno, "iostream-outside-cli",

@@ -16,6 +16,7 @@
 #include "cli/args.h"
 #include "cli/json_writer.h"
 #include "cli/model_io.h"
+#include "cli/soak.h"
 #include "core/model.h"
 #include "core/sharded_stream_server.h"
 #include "core/stream_server.h"
@@ -804,6 +805,12 @@ void EmitServeJson(const ServeOutcome& outcome, int shards, int workers,
   writer->Key("batches_shed").Int(outcome.stats.batches_shed);
   writer->Key("items_shed").Int(outcome.stats.items_shed);
   writer->EndObject();
+  writer->Key("memory").BeginObject();
+  writer->Key("bytes_resident").Int(outcome.stats.bytes_resident);
+  writer->Key("pool_blocks").Int(outcome.stats.pool_blocks);
+  writer->Key("scratch_high_water").Int(outcome.stats.scratch_high_water);
+  writer->Key("compactions").Int(outcome.stats.compactions);
+  writer->EndObject();
   writer->Key("events").BeginObject();
   writer->Key("sequences_classified").Int(outcome.stats.sequences_classified);
   writer->Key("policy_halts").Int(outcome.stats.policy_halts);
@@ -849,6 +856,12 @@ Table ServeTable(const ServeOutcome& outcome) {
       {"items submitted", std::to_string(outcome.stats.items_submitted)});
   table.AddRow({"batches shed", std::to_string(outcome.stats.batches_shed)});
   table.AddRow({"items shed", std::to_string(outcome.stats.items_shed)});
+  table.AddRow(
+      {"bytes resident", std::to_string(outcome.stats.bytes_resident)});
+  table.AddRow({"pool blocks", std::to_string(outcome.stats.pool_blocks)});
+  table.AddRow({"scratch high water",
+                std::to_string(outcome.stats.scratch_high_water)});
+  table.AddRow({"compactions", std::to_string(outcome.stats.compactions)});
   return table;
 }
 
@@ -856,14 +869,16 @@ Table ServeTable(const ServeOutcome& outcome) {
 // was hot (or shedding) when the process was asked to stop.
 Table PerShardTable(const std::vector<StreamServerStats>& per_shard) {
   Table table({"shard", "processed", "classified", "submitted", "shed items",
-               "shed batches"});
+               "shed batches", "resident bytes", "compactions"});
   for (size_t s = 0; s < per_shard.size(); ++s) {
     const StreamServerStats& stats = per_shard[s];
     table.AddRow({std::to_string(s), std::to_string(stats.items_processed),
                   std::to_string(stats.sequences_classified),
                   std::to_string(stats.items_submitted),
                   std::to_string(stats.items_shed),
-                  std::to_string(stats.batches_shed)});
+                  std::to_string(stats.batches_shed),
+                  std::to_string(stats.bytes_resident),
+                  std::to_string(stats.compactions)});
   }
   return table;
 }
@@ -1061,6 +1076,12 @@ int RunListenServe(const KvecModel& model,
     writer.Key("batches_shed").Int(stats.batches_shed);
     writer.Key("items_shed").Int(stats.items_shed);
     writer.EndObject();
+    writer.Key("memory").BeginObject();
+    writer.Key("bytes_resident").Int(stats.bytes_resident);
+    writer.Key("pool_blocks").Int(stats.pool_blocks);
+    writer.Key("scratch_high_water").Int(stats.scratch_high_water);
+    writer.Key("compactions").Int(stats.compactions);
+    writer.EndObject();
     writer.Key("net").BeginObject();
     writer.Key("connections_accepted").Int(net_stats.connections_accepted);
     writer.Key("connections_rejected").Int(net_stats.connections_rejected);
@@ -1089,6 +1110,8 @@ int RunListenServe(const KvecModel& model,
                   std::to_string(stats.sequences_classified)});
     table.AddRow({"items submitted", std::to_string(stats.items_submitted)});
     table.AddRow({"items shed", std::to_string(stats.items_shed)});
+    table.AddRow({"bytes resident", std::to_string(stats.bytes_resident)});
+    table.AddRow({"compactions", std::to_string(stats.compactions)});
     table.AddRow({"flush events", std::to_string(flush_events)});
     table.AddRow({"connections accepted",
                   std::to_string(net_stats.connections_accepted)});
@@ -1139,6 +1162,16 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
       "idle-timeout", 512, "evict keys idle for this many stream positions");
   int64_t* max_open_keys =
       parser.AddInt("max-open-keys", 1024, "open-key capacity per shard");
+  int64_t* compaction_interval = parser.AddInt(
+      "compaction-check-interval", 4096,
+      "per-shard items between pool-fragmentation checks (<=0 disables "
+      "automatic compaction)");
+  double* compaction_threshold = parser.AddDouble(
+      "compaction-threshold", 2.0,
+      "compact a shard pool when resident/live bytes exceed this ratio");
+  int64_t* compaction_min_bytes = parser.AddInt(
+      "compaction-min-bytes", 4 << 20,
+      "never compact pools smaller than this many resident bytes");
   bool* flush = parser.AddBool(
       "flush", true, "force-classify still-open keys at end of stream");
   std::string* load_checkpoint = parser.AddString(
@@ -1263,6 +1296,10 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
   server_config.max_window_items = static_cast<int>(*max_window);
   server_config.idle_timeout = static_cast<int>(*idle_timeout);
   server_config.max_open_keys = static_cast<int>(*max_open_keys);
+  server_config.compaction_check_interval =
+      static_cast<int>(*compaction_interval);
+  server_config.compaction_fragmentation_threshold = *compaction_threshold;
+  server_config.compaction_min_bytes = *compaction_min_bytes;
 
   if (listen != nullptr && !listen->empty()) {
     if (*max_connections <= 0) {
@@ -1684,6 +1721,8 @@ const std::vector<SubcommandInfo>& Subcommands() {
       {"loadgen", "drive a kvec serve --listen endpoint over TCP with "
                   "retry/backoff and latency percentiles"},
       {"bench", "end-to-end serving throughput measurement"},
+      {"soak", "bounded-memory soak: RSS-flatness assertion and the "
+               "memory-vs-open-keys curve"},
       {"checkpoint", "inspect model bundles and serving checkpoints"},
   };
   return subcommands;
@@ -1709,6 +1748,7 @@ int RunKvecCli(const std::vector<std::string>& args, std::ostream& out,
   if (subcommand == "bench") {
     return RunServeOrBench(rest, out, err, /*bench=*/true);
   }
+  if (subcommand == "soak") return RunSoakCommand(rest, out, err);
   if (subcommand == "checkpoint") return RunCheckpoint(rest, out, err);
   err << "kvec: unknown subcommand '" << subcommand << "'\n\n"
       << GlobalUsage();

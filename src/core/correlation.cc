@@ -7,18 +7,41 @@
 
 namespace kvec {
 
-CorrelationTracker::CorrelationTracker(const CorrelationOptions& options)
-    : options_(options) {
+CorrelationTracker::CorrelationTracker(const CorrelationOptions& options,
+                                       std::pmr::memory_resource* memory)
+    : options_(options),
+      memory_(memory),
+      state_(std::make_unique<State>(memory)) {
   KVEC_CHECK_GE(options_.session_field, 0);
   KVEC_CHECK_GT(options_.value_correlation_window, 0);
+}
+
+void CorrelationTracker::Repool(std::pmr::memory_resource* memory) {
+  auto fresh = std::make_unique<State>(memory);
+  fresh->key_items.reserve(state_->key_items.size());
+  for (const auto& [key, items] : state_->key_items) {
+    fresh->key_items.emplace(key, items);
+  }
+  fresh->open_sessions.reserve(state_->open_sessions.size());
+  for (const auto& [key, session] : state_->open_sessions) {
+    fresh->open_sessions.emplace(key, session);
+  }
+  fresh->by_value.reserve(state_->by_value.size());
+  for (const auto& [value, bucket] : state_->by_value) {
+    fresh->by_value.emplace(value, bucket);
+  }
+  // Destroy the old containers while their resource is still alive, then
+  // adopt the new one.
+  state_ = std::move(fresh);
+  memory_ = memory;
 }
 
 void CorrelationTracker::AppendValueMatches(int own_key, int session_value,
                                             int index,
                                             std::vector<int>* visible) const {
-  auto bucket_it = by_value_.find(session_value);
-  if (bucket_it == by_value_.end()) return;
-  const std::map<int, int>& bucket = bucket_it->second;
+  auto bucket_it = state_->by_value.find(session_value);
+  if (bucket_it == state_->by_value.end()) return;
+  const std::pmr::map<int, int>& bucket = bucket_it->second;
 
   std::vector<int> cross;  // value-correlated items of *other* keys
   // Newest-first walk; every session past the first stale one is staler
@@ -27,7 +50,7 @@ void CorrelationTracker::AppendValueMatches(int own_key, int session_value,
   for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
     if (index - it->first > options_.value_correlation_window) break;
     if (it->second == own_key) continue;  // same key is key correlation
-    const OpenSession& session = open_sessions_.at(it->second);
+    const OpenSession& session = state_->open_sessions.at(it->second);
     cross.insert(cross.end(), session.item_indices.begin(),
                  session.item_indices.end());
   }
@@ -52,8 +75,8 @@ std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
   std::vector<int> visible;
 
   if (options_.use_key_correlation) {
-    auto it = key_items_.find(item.key);
-    if (it != key_items_.end()) {
+    auto it = state_->key_items.find(item.key);
+    if (it != state_->key_items.end()) {
       visible.insert(visible.end(), it->second.begin(), it->second.end());
     }
   }
@@ -64,18 +87,18 @@ std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
 
   // Update this key's open session *after* computing visibility so an item
   // never reports itself.
-  key_items_[item.key].push_back(index);
-  OpenSession& session = open_sessions_[item.key];
+  state_->key_items[item.key].push_back(index);
+  OpenSession& session = state_->open_sessions[item.key];
   const bool session_rotates =
       session.item_indices.empty() || session.session_value != session_value;
   // Reposition the session in the inverted index: drop the stale
   // (last_index -> key) entry — from the old value's bucket if the session
   // value changed — and re-insert under the new recency.
   if (session.last_index >= 0) {
-    auto old_bucket = by_value_.find(session.session_value);
-    if (old_bucket != by_value_.end()) {
+    auto old_bucket = state_->by_value.find(session.session_value);
+    if (old_bucket != state_->by_value.end()) {
       old_bucket->second.erase(session.last_index);
-      if (old_bucket->second.empty()) by_value_.erase(old_bucket);
+      if (old_bucket->second.empty()) state_->by_value.erase(old_bucket);
     }
   }
   if (session_rotates) {
@@ -84,7 +107,7 @@ std::vector<int> CorrelationTracker::ObserveItem(const Item& item) {
   }
   session.item_indices.push_back(index);
   session.last_index = index;
-  by_value_[session_value].emplace(index, item.key);
+  state_->by_value[session_value].emplace(index, item.key);
 
   return visible;
 }
@@ -103,25 +126,27 @@ void CorrelationTracker::Snapshot(BinaryWriter* writer) const {
   // order depends on insertion history, which a restored tracker does not
   // share).
   std::vector<int> keys;
-  keys.reserve(key_items_.size());
-  for (const auto& [key, items] : key_items_) keys.push_back(key);
+  keys.reserve(state_->key_items.size());
+  for (const auto& [key, items] : state_->key_items) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   writer->WriteInt32(static_cast<int32_t>(keys.size()));
   for (int key : keys) {
+    const auto& items = state_->key_items.at(key);
     writer->WriteInt32(key);
-    writer->WriteIntVector(key_items_.at(key));
+    writer->WriteInts(items.data(), items.size());
   }
 
   keys.clear();
-  for (const auto& [key, session] : open_sessions_) keys.push_back(key);
+  for (const auto& [key, session] : state_->open_sessions) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   writer->WriteInt32(static_cast<int32_t>(keys.size()));
   for (int key : keys) {
-    const OpenSession& session = open_sessions_.at(key);
+    const OpenSession& session = state_->open_sessions.at(key);
     writer->WriteInt32(key);
     writer->WriteInt32(session.session_value);
     writer->WriteInt32(session.last_index);
-    writer->WriteIntVector(session.item_indices);
+    writer->WriteInts(session.item_indices.data(),
+                      session.item_indices.size());
   }
 }
 
@@ -148,53 +173,52 @@ bool CorrelationTracker::Restore(BinaryReader* reader) {
   const int next_index = reader->ReadInt32();
   if (!reader->ok() || next_index < 0) return false;
 
-  std::unordered_map<int, std::vector<int>> key_items;
+  // Staged into the tracker's own resource; committed by a pointer swap.
+  auto staged = std::make_unique<State>(memory_);
   const int32_t num_keys = reader->ReadInt32();
   if (!reader->ok() || !plausible_count(num_keys)) return false;
-  key_items.reserve(num_keys);
+  staged->key_items.reserve(num_keys);
   for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
     const int key = reader->ReadInt32();
     std::vector<int> items = reader->ReadIntVector();
     for (int index : items) {
       if (index < 0 || index >= next_index) return false;
     }
-    if (!key_items.emplace(key, std::move(items)).second) return false;
+    auto [slot, inserted] = staged->key_items.try_emplace(key);
+    if (!inserted) return false;
+    slot->second.assign(items.begin(), items.end());
   }
 
-  std::unordered_map<int, OpenSession> open_sessions;
-  std::unordered_map<int, std::map<int, int>> by_value;
   const int32_t num_sessions = reader->ReadInt32();
   if (!reader->ok() || !plausible_count(num_sessions)) return false;
-  open_sessions.reserve(num_sessions);
+  staged->open_sessions.reserve(num_sessions);
   for (int32_t i = 0; i < num_sessions && reader->ok(); ++i) {
     const int key = reader->ReadInt32();
-    OpenSession session;
-    session.session_value = reader->ReadInt32();
-    session.last_index = reader->ReadInt32();
-    session.item_indices = reader->ReadIntVector();
+    const int session_value = reader->ReadInt32();
+    const int last_index = reader->ReadInt32();
+    std::vector<int> item_indices = reader->ReadIntVector();
     if (!reader->ok()) return false;
-    if (session.last_index < -1 || session.last_index >= next_index) {
-      return false;
-    }
-    for (int index : session.item_indices) {
+    if (last_index < -1 || last_index >= next_index) return false;
+    for (int index : item_indices) {
       if (index < 0 || index >= next_index) return false;
     }
     // Rebuild the inverted index: one recency entry per indexed session.
-    if (session.last_index >= 0) {
-      if (!by_value[session.session_value]
-               .emplace(session.last_index, key)
-               .second) {
+    if (last_index >= 0) {
+      if (!staged->by_value[session_value].emplace(last_index, key).second) {
         return false;  // two sessions cannot share a stream position
       }
     }
-    if (!open_sessions.emplace(key, std::move(session)).second) return false;
+    auto [slot, inserted] = staged->open_sessions.try_emplace(key);
+    if (!inserted) return false;
+    slot->second.session_value = session_value;
+    slot->second.last_index = last_index;
+    slot->second.item_indices.assign(item_indices.begin(),
+                                     item_indices.end());
   }
   if (!reader->ok()) return false;
 
   next_index_ = next_index;
-  key_items_ = std::move(key_items);
-  open_sessions_ = std::move(open_sessions);
-  by_value_ = std::move(by_value);
+  state_ = std::move(staged);
   return true;
 }
 

@@ -30,9 +30,18 @@
 // Threading: NOT thread-safe; a tracker belongs to exactly one engine
 // (OnlineClassifier) and is mutated on every ObserveItem. Independent
 // trackers on different threads never share state.
+//
+// Memory: every container — the per-key item lists, the open sessions
+// (including their index vectors), and the inverted index — allocates from
+// the memory_resource passed at construction. Serving hands in the shard's
+// ShardPool so session churn recycles pool nodes; training and tests use
+// the default resource. Repool() rebuilds the whole state into a fresh
+// resource (shard compaction).
 #pragma once
 
 #include <map>
+#include <memory>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +54,9 @@ namespace kvec {
 
 class CorrelationTracker {
  public:
-  explicit CorrelationTracker(const CorrelationOptions& options);
+  explicit CorrelationTracker(
+      const CorrelationOptions& options,
+      std::pmr::memory_resource* memory = std::pmr::get_default_resource());
 
   // Registers the next stream item and returns the indices of *earlier*
   // items visible to it (its own index is always implicitly visible).
@@ -66,11 +77,53 @@ class CorrelationTracker {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader);
 
+  // Rebuilds every container into `memory` and adopts it for all future
+  // allocations. Observable state is unchanged (the canonical key-sorted
+  // Snapshot cannot tell the difference); the point is that the old
+  // resource is left with zero live blocks so the caller can drop it.
+  void Repool(std::pmr::memory_resource* memory);
+
  private:
+  // Allocator-aware so pmr maps propagate their resource into the per-
+  // session index vector (uses-allocator construction).
   struct OpenSession {
+    using allocator_type = std::pmr::polymorphic_allocator<int>;
+    OpenSession() = default;
+    explicit OpenSession(const allocator_type& alloc) : item_indices(alloc) {}
+    OpenSession(const OpenSession& other, const allocator_type& alloc)
+        : session_value(other.session_value),
+          item_indices(other.item_indices, alloc),
+          last_index(other.last_index) {}
+    OpenSession(OpenSession&& other, const allocator_type& alloc)
+        : session_value(other.session_value),
+          item_indices(std::move(other.item_indices), alloc),
+          last_index(other.last_index) {}
+    OpenSession(const OpenSession&) = default;
+    OpenSession(OpenSession&&) = default;
+    OpenSession& operator=(const OpenSession&) = default;
+    OpenSession& operator=(OpenSession&&) = default;
+
     int session_value = -1;
-    std::vector<int> item_indices;  // members of the open session
+    std::pmr::vector<int> item_indices;  // members of the open session
     int last_index = -1;
+  };
+
+  // All pool-backed containers live behind one pointer: pmr allocators do
+  // not propagate on assignment, so moving state into a different pool
+  // means *reconstructing* the containers — swap the struct wholesale.
+  struct State {
+    explicit State(std::pmr::memory_resource* memory)
+        : key_items(memory), open_sessions(memory), by_value(memory) {}
+    // Hot per-item lookups: iteration order is not load-bearing, so these
+    // are hash maps (the ordered walk lives in by_value below).
+    std::pmr::unordered_map<int, std::pmr::vector<int>> key_items;
+    std::pmr::unordered_map<int, OpenSession> open_sessions;
+    // Inverted index: session value -> (last_index -> key) over the open
+    // sessions currently carrying that value. last_index is unique (one
+    // item per stream position), and the map order is recency order, so the
+    // window cutoff is a newest-first walk stopping at the first stale
+    // session.
+    std::pmr::unordered_map<int, std::pmr::map<int, int>> by_value;
   };
 
   // Collects the cross-key value matches for an item with `session_value`
@@ -80,15 +133,8 @@ class CorrelationTracker {
 
   CorrelationOptions options_;
   int next_index_ = 0;
-  // Hot per-item lookups: iteration order is not load-bearing, so these are
-  // hash maps (the ordered walk lives in by_value_ below).
-  std::unordered_map<int, std::vector<int>> key_items_;  // key -> items
-  std::unordered_map<int, OpenSession> open_sessions_;   // key -> session
-  // Inverted index: session value -> (last_index -> key) over the open
-  // sessions currently carrying that value. last_index is unique (one item
-  // per stream position), and the map order is recency order, so the window
-  // cutoff is a newest-first walk that stops at the first stale session.
-  std::unordered_map<int, std::map<int, int>> by_value_;
+  std::pmr::memory_resource* memory_;
+  std::unique_ptr<State> state_;
 };
 
 // The dynamic mask matrix over a whole episode.

@@ -80,16 +80,13 @@ float* IncrementalEncoder::ValuePanel(int block, int head) {
          static_cast<size_t>(head) * capacity_ * head_dim_;
 }
 
-void IncrementalEncoder::EnsureCapacity(int min_items) {
-  if (capacity_ >= min_items) return;
-  int new_capacity = std::max(capacity_ * 2, 64);
-  while (new_capacity < min_items) new_capacity *= 2;
-
+void IncrementalEncoder::RepackArena(int new_capacity) {
+  KVEC_DCHECK(new_capacity >= num_items_);
   const int num_blocks = static_cast<int>(encoder_.blocks().size());
-  std::vector<float> grown = BufferPool::Global().AcquireUninitialized(
+  std::vector<float> fresh = BufferPool::Global().AcquireUninitialized(
       2 * static_cast<size_t>(num_blocks) * new_capacity * dim_);
   if (num_items_ > 0) {
-    // Repack the live [num_items_, head_dim] panels into the wider layout.
+    // Move the live [num_items_, head_dim] panels into the new layout.
     const size_t old_block_stride = 2 * static_cast<size_t>(capacity_) * dim_;
     const size_t new_block_stride =
         2 * static_cast<size_t>(new_capacity) * dim_;
@@ -97,13 +94,13 @@ void IncrementalEncoder::EnsureCapacity(int min_items) {
     for (int b = 0; b < num_blocks; ++b) {
       for (int h = 0; h < num_heads_; ++h) {
         // Keys.
-        std::memcpy(grown.data() + b * new_block_stride +
+        std::memcpy(fresh.data() + b * new_block_stride +
                         static_cast<size_t>(h) * new_capacity * head_dim_,
                     arena_.data() + b * old_block_stride +
                         static_cast<size_t>(h) * capacity_ * head_dim_,
                     live * sizeof(float));
         // Values.
-        std::memcpy(grown.data() + b * new_block_stride +
+        std::memcpy(fresh.data() + b * new_block_stride +
                         static_cast<size_t>(new_capacity) * dim_ +
                         static_cast<size_t>(h) * new_capacity * head_dim_,
                     arena_.data() + b * old_block_stride +
@@ -114,8 +111,25 @@ void IncrementalEncoder::EnsureCapacity(int min_items) {
     }
   }
   BufferPool::Global().Release(std::move(arena_));
-  arena_ = std::move(grown);
+  arena_ = std::move(fresh);
   capacity_ = new_capacity;
+}
+
+void IncrementalEncoder::EnsureCapacity(int min_items) {
+  if (capacity_ >= min_items) return;
+  int new_capacity = std::max(capacity_ * 2, 64);
+  while (new_capacity < min_items) new_capacity *= 2;
+  RepackArena(new_capacity);
+}
+
+void IncrementalEncoder::ShrinkToFit() {
+  if (capacity_ == 0) return;
+  // Same geometric ladder EnsureCapacity climbs, so a shrink lands on a
+  // capacity growth would also have produced (keeps sizes pool-friendly).
+  int tight = 64;
+  while (tight < num_items_) tight *= 2;
+  if (tight >= capacity_) return;
+  RepackArena(tight);
 }
 
 void IncrementalEncoder::ScatterKv(int block, int t, const float* k,
@@ -323,8 +337,28 @@ void IncrementalEncoder::AppendBatch(const Item* items,
   const int d = dim_;
   const size_t panel = static_cast<size_t>(batch) * d;
 
+  // All batch panels are bump allocations from the per-engine scratch
+  // arena; nothing here survives the call (the owner also calls
+  // ResetScratch() after the microbatch drains).
+  scratch_.Reset();
+
+  int max_ffn_dim = 0;
+  for (const AttentionBlock& block : encoder_.blocks()) {
+    max_ffn_dim = std::max(max_ffn_dim, block.ffn().first().weight().cols());
+  }
+
+  float* x = scratch_.AllocArray<float>(panel);
+  float* q = scratch_.AllocArray<float>(panel);
+  float* k = scratch_.AllocArray<float>(panel);
+  float* v = scratch_.AllocArray<float>(panel);
+  float* att_panel = scratch_.AllocArray<float>(panel);
+  float* mixed_panel = scratch_.AllocArray<float>(panel);
+  float* h = scratch_.AllocArray<float>(panel);
+  float* hidden = scratch_.AllocArray<float>(
+      static_cast<size_t>(batch) * std::max(max_ffn_dim, 1));
+  float* f = scratch_.AllocArray<float>(panel);
+
   // ---- Input embedding rows, stacked into X [batch, d]. ----
-  float* x = bx_.Ensure(panel);
   std::fill(x, x + panel, 0.0f);
   for (int i = 0; i < batch; ++i) {
     encoder_.input_embedding().AccumulateItemRow(
@@ -336,11 +370,6 @@ void IncrementalEncoder::AppendBatch(const Item* items,
   for (size_t b = 0; b < encoder_.blocks().size(); ++b) {
     const AttentionBlock& block = encoder_.blocks()[b];
     const MaskedSelfAttention& attention = block.attention();
-    x = bx_.data();
-
-    float* q = bq_.Ensure(panel);
-    float* k = bk_.Ensure(panel);
-    float* v = bv_.Ensure(panel);
     kernels::GemmNN(x, attention.query().weight().data().data(), q, batch, d,
                     d, /*accumulate=*/false);
     kernels::GemmNN(x, attention.key().weight().data().data(), k, batch, d, d,
@@ -354,7 +383,7 @@ void IncrementalEncoder::AppendBatch(const Item* items,
                 v + static_cast<size_t>(i) * d);
     }
 
-    float* att = batt_.Ensure(panel);
+    float* att = att_panel;
     for (int i = 0; i < batch; ++i) {
       targets_.assign(visibles[i].begin(), visibles[i].end());
       targets_.push_back(t0 + i);
@@ -362,14 +391,12 @@ void IncrementalEncoder::AppendBatch(const Item* items,
                 targets_, att + static_cast<size_t>(i) * d);
     }
     if (attention.output_projection() != nullptr) {
-      float* mixed = bmix_.Ensure(panel);
       kernels::GemmNN(att, attention.output_projection()->weight().data().data(),
-                      mixed, batch, d, d, /*accumulate=*/false);
-      att = mixed;
+                      mixed_panel, batch, d, d, /*accumulate=*/false);
+      att = mixed_panel;
     }
 
     // Residual + LN, FFN (batched GEMMs), residual + LN.
-    float* h = bh_.Ensure(panel);
     for (size_t e = 0; e < panel; ++e) h[e] = x[e] + att[e];
     for (int i = 0; i < batch; ++i) {
       LayerNormRow(block.norm_attention().gamma(),
@@ -381,7 +408,6 @@ void IncrementalEncoder::AppendBatch(const Item* items,
     const Linear& ffn2 = block.ffn().second();
     const int ffn_dim = ffn1.weight().cols();
     const size_t hidden_panel = static_cast<size_t>(batch) * ffn_dim;
-    float* hidden = bhidden_.Ensure(hidden_panel);
     kernels::GemmNN(h, ffn1.weight().data().data(), hidden, batch, d, ffn_dim,
                     /*accumulate=*/false);
     if (ffn1.bias().defined()) {
@@ -390,7 +416,6 @@ void IncrementalEncoder::AppendBatch(const Item* items,
     for (size_t e = 0; e < hidden_panel; ++e) {
       hidden[e] = hidden[e] > 0.0f ? hidden[e] : 0.0f;
     }
-    float* f = bf_.Ensure(panel);
     kernels::GemmNN(hidden, ffn2.weight().data().data(), f, batch, ffn_dim, d,
                     /*accumulate=*/false);
     if (ffn2.bias().defined()) {
@@ -403,10 +428,10 @@ void IncrementalEncoder::AppendBatch(const Item* items,
     }
 
     // The block's output panel is the next block's input panel.
-    std::swap(bx_.vec(), bf_.vec());
+    std::swap(x, f);
   }
 
-  rows->assign(bx_.data(), bx_.data() + panel);
+  rows->assign(x, x + panel);
 }
 
 }  // namespace kvec

@@ -22,6 +22,7 @@
 #include "core/input_embedding.h"
 #include "nn/attention.h"
 #include "nn/module.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -110,6 +111,22 @@ class IncrementalEncoder {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader, int expected_items = -1);
 
+  // Repacks the K/V arena into the smallest geometric capacity that holds
+  // the live items, returning the slack to BufferPool (shard compaction).
+  // A no-op when the arena is already tight.
+  void ShrinkToFit();
+
+  // Rewinds the batch scratch arena (called after a drained microbatch;
+  // AppendBatch also resets defensively on entry).
+  void ResetScratch() { scratch_.Reset(); }
+
+  // ---- Memory accounting ----
+  // Bytes held by the K/V arena plus the batch scratch arena.
+  size_t resident_bytes() const {
+    return arena_.capacity() * sizeof(float) + scratch_.reserved_bytes();
+  }
+  size_t scratch_high_water() const { return scratch_.high_water(); }
+
  private:
   // A BufferPool-backed grow-only scratch buffer: the q/k/v/attended/hidden
   // scratch of the seed implementation was reallocated on every AppendItem
@@ -146,6 +163,9 @@ class IncrementalEncoder {
   // Grows the arena (geometrically) to hold at least `min_items` cached
   // items, repacking the live panels into the new layout.
   void EnsureCapacity(int min_items);
+  // Moves the live panels into a fresh arena of `new_capacity` items
+  // (either direction: growth or shrink-to-fit).
+  void RepackArena(int new_capacity);
   // Scatters one item's k/v rows (length d each) into the head panels.
   void ScatterKv(int block, int t, const float* k, const float* v);
   // Masked attention for one query row against the cached panels of
@@ -163,8 +183,11 @@ class IncrementalEncoder {
 
   // Single-row scratch (AppendItem).
   PooledBuffer x_, q_, k_, v_, attended_, mixed_, h_, hidden_, f_;
-  // Batched scratch (AppendBatch), [batch, ·] panels.
-  PooledBuffer bx_, bq_, bk_, bv_, batt_, bmix_, bh_, bhidden_, bf_;
+  // Batched scratch (AppendBatch): all [batch, ·] panels come from this
+  // monotonic arena, reset at the top of every batch — per-microbatch
+  // scratch costs one pointer bump per panel instead of nine BufferPool
+  // draws (and plateaus at the largest batch seen).
+  ScratchArena scratch_;
   std::vector<float> scores_;
   std::vector<int> targets_;
 };

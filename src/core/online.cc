@@ -8,10 +8,35 @@
 
 namespace kvec {
 
-OnlineClassifier::OnlineClassifier(const KvecModel& model)
+OnlineClassifier::OnlineClassifier(const KvecModel& model,
+                                   std::pmr::memory_resource* memory)
     : model_(model),
+      memory_(memory),
       incremental_(model.encoder()),
-      tracker_(model.config().correlation) {}
+      tracker_(model.config().correlation, memory),
+      keys_(std::make_unique<KeyStateMap>(memory)) {}
+
+void OnlineClassifier::Repool(std::pmr::memory_resource* memory) {
+  tracker_.Repool(memory);
+  auto fresh = std::make_unique<KeyStateMap>(memory);
+  fresh->reserve(keys_->size());
+  // KeyState's tensors are shared handles into BufferPool storage — the
+  // copy moves the map nodes into the new pool, not the float data.
+  for (const auto& [key, state] : *keys_) fresh->emplace(key, state);
+  keys_ = std::move(fresh);
+  memory_ = memory;
+  incremental_.ShrinkToFit();
+}
+
+void OnlineClassifier::ResetEncodeScratch() { incremental_.ResetScratch(); }
+
+size_t OnlineClassifier::encoder_resident_bytes() const {
+  return incremental_.resident_bytes();
+}
+
+size_t OnlineClassifier::scratch_high_water() const {
+  return incremental_.scratch_high_water();
+}
 
 void OnlineClassifier::EncodeBatch(const Item* items, int count,
                                    std::vector<float>* rows) {
@@ -24,7 +49,7 @@ void OnlineClassifier::EncodeBatch(const Item* items, int count,
   position_scratch_.resize(count);
   for (int i = 0; i < count; ++i) {
     visible_scratch_[i] = tracker_.ObserveItem(items[i]);
-    position_scratch_[i] = keys_[items[i].key].position_in_key++;
+    position_scratch_[i] = (*keys_)[items[i].key].position_in_key++;
   }
   if (count == 1) {
     // Single-item fast path: the row-vector VecMat pipeline, no GEMM setup.
@@ -44,7 +69,7 @@ OnlineDecision OnlineClassifier::DecideObserved(int key, const float* row) {
   OnlineDecision decision;
   decision.key = key;
 
-  KeyState& key_state = keys_.at(key);  // created by EncodeBatch
+  KeyState& key_state = keys_->at(key);  // created by EncodeBatch
   if (key_state.halted) {
     decision.already_halted = true;
     decision.predicted_label = key_state.predicted;
@@ -102,8 +127,8 @@ std::vector<OnlineDecision> OnlineClassifier::ObserveBatch(
 
 int OnlineClassifier::ForceClassify(int key, double* confidence) {
   InferenceMode inference_guard;
-  auto it = keys_.find(key);
-  if (it == keys_.end() || it->second.observed == 0) {
+  auto it = keys_->find(key);
+  if (it == keys_->end() || it->second.observed == 0) {
     if (confidence != nullptr) *confidence = 0.0;
     return -1;
   }
@@ -147,12 +172,12 @@ void OnlineClassifier::Snapshot(BinaryWriter* writer) const {
   tracker_.Snapshot(writer);
 
   std::vector<int> sorted_keys;
-  sorted_keys.reserve(keys_.size());
-  for (const auto& [key, state] : keys_) sorted_keys.push_back(key);
+  sorted_keys.reserve(keys_->size());
+  for (const auto& [key, state] : *keys_) sorted_keys.push_back(key);
   std::sort(sorted_keys.begin(), sorted_keys.end());
   writer->WriteInt32(static_cast<int32_t>(sorted_keys.size()));
   for (int key : sorted_keys) {
-    const KeyState& state = keys_.at(key);
+    const KeyState& state = keys_->at(key);
     writer->WriteInt32(key);
     writer->WriteInt32(state.halted ? 1 : 0);
     writer->WriteInt32(state.observed);
@@ -184,17 +209,18 @@ bool OnlineClassifier::Restore(BinaryReader* reader) {
   const int num_items = reader->ReadInt32();
   if (!reader->ok() || num_items < 0) return false;
 
-  CorrelationTracker tracker(config.correlation);
+  CorrelationTracker tracker(config.correlation, memory_);
   if (!tracker.Restore(reader)) return false;
   if (tracker.num_observed() != num_items) return false;
 
-  std::unordered_map<int, KeyState> keys;
+  // Staged into the engine's own resource; committed by a pointer swap.
+  auto keys = std::make_unique<KeyStateMap>(memory_);
   const int32_t num_keys = reader->ReadInt32();
   if (!reader->ok() || num_keys < 0 ||
       static_cast<size_t>(num_keys) > reader->remaining() / 8) {
     return false;
   }
-  keys.reserve(num_keys);
+  keys->reserve(num_keys);
   for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
     const int key = reader->ReadInt32();
     KeyState state;
@@ -219,7 +245,7 @@ bool OnlineClassifier::Restore(BinaryReader* reader) {
     // ForceClassify and Step both dereference the hidden state of any key
     // with observed items; a checkpoint without one is corrupt.
     if (state.observed > 0 && !state.state.hidden.defined()) return false;
-    if (!keys.emplace(key, std::move(state)).second) return false;
+    if (!keys->emplace(key, std::move(state)).second) return false;
   }
   if (!reader->ok()) return false;
 
@@ -236,13 +262,13 @@ bool OnlineClassifier::Restore(BinaryReader* reader) {
 }
 
 int OnlineClassifier::ObservedItems(int key) const {
-  auto it = keys_.find(key);
-  return it == keys_.end() ? 0 : it->second.observed;
+  auto it = keys_->find(key);
+  return it == keys_->end() ? 0 : it->second.observed;
 }
 
 bool OnlineClassifier::IsHalted(int key) const {
-  auto it = keys_.find(key);
-  return it != keys_.end() && it->second.halted;
+  auto it = keys_->find(key);
+  return it != keys_->end() && it->second.halted;
 }
 
 }  // namespace kvec

@@ -32,6 +32,8 @@
 // owner rotates the engine (StreamServer's max_window_items bound).
 #pragma once
 
+#include <memory>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -55,8 +57,13 @@ struct OnlineDecision {
 class OnlineClassifier {
  public:
   // `model` must outlive the classifier and should be trained; the engine
-  // never updates parameters.
-  explicit OnlineClassifier(const KvecModel& model);
+  // never updates parameters. `memory` backs the long-lived per-key state
+  // (key-state map nodes and the correlation tracker's containers);
+  // StreamServer passes its shard's ShardPool, standalone users get the
+  // default resource. The resource must outlive the classifier.
+  explicit OnlineClassifier(
+      const KvecModel& model,
+      std::pmr::memory_resource* memory = std::pmr::get_default_resource());
 
   // Feeds the next item of the tangled stream (chronological order).
   OnlineDecision Observe(const Item& item);
@@ -100,6 +107,21 @@ class OnlineClassifier {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader);
 
+  // Rebuilds the per-key map and tracker containers into `memory` (leaving
+  // the old resource empty) and tight-repacks the encoder's K/V arena.
+  // Observable behaviour is unchanged — shard compaction's correctness
+  // contract (bit-identical events, byte-identical checkpoints) rests on
+  // every snapshot path already being canonical-order.
+  void Repool(std::pmr::memory_resource* memory);
+
+  // Returns the encoder's batch scratch arena to its reset point; the
+  // serving loop calls this after each drained microbatch.
+  void ResetEncodeScratch();
+
+  // ---- Memory accounting (see StreamServerStats) ----
+  size_t encoder_resident_bytes() const;  // K/V arena + scratch reserved
+  size_t scratch_high_water() const;
+
  private:
   struct KeyState {
     FusionState state;
@@ -108,11 +130,16 @@ class OnlineClassifier {
     int position_in_key = 0;
     int predicted = -1;
   };
+  // pmr allocators do not propagate on assignment, so rebinding the map to
+  // a fresh pool (Repool) means reconstructing it; owning it through a
+  // pointer makes that a swap.
+  using KeyStateMap = std::pmr::unordered_map<int, KeyState>;
 
   const KvecModel& model_;
+  std::pmr::memory_resource* memory_;
   IncrementalEncoder incremental_;
   CorrelationTracker tracker_;
-  std::unordered_map<int, KeyState> keys_;
+  std::unique_ptr<KeyStateMap> keys_;
   int num_items_ = 0;
   // EncodeBatch scratch, reused across calls.
   std::vector<std::vector<int>> visible_scratch_;

@@ -157,6 +157,28 @@ void ShardedStreamServer::RunOnAllShards(
   barrier.Wait();
 }
 
+void ShardedStreamServer::RunOnShard(
+    int shard_index, const std::function<void(StreamServer&)>& fn) const {
+  Shard& shard = *shards_[shard_index];
+  if (!asynchronous()) {
+    MutexLock lock(shard.mutex);
+    fn(*shard.server);
+    return;
+  }
+  Barrier barrier(1);
+  ShardTask task;
+  task.fn = [&fn, &barrier](StreamServer& server) {
+    fn(server);
+    barrier.Arrive();
+  };
+  const auto result = shard.queue->Push(std::move(task), OverloadPolicy::kBlock,
+                                        /*sheddable=*/false,
+                                        /*shed_out=*/nullptr);
+  KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted)
+      << "control task pushed into a closed shard queue";
+  barrier.Wait();
+}
+
 void ShardedStreamServer::CountShed(Shard* shard, int64_t batches,
                                     int64_t items) {
   shard->batches_shed.fetch_add(batches, std::memory_order_relaxed);
@@ -410,18 +432,21 @@ StreamServerStats ShardedStreamServer::shard_stats(int shard) const {
     return MergeTransportCounters(target, target.server->stats());
   }
   StreamServerStats stats;
-  Barrier barrier(1);
-  ShardTask task;
-  task.fn = [&target, &stats, &barrier](StreamServer& server) {
+  RunOnShard(shard, [&target, &stats](StreamServer& server) {
     stats = MergeTransportCounters(target, server.stats());
-    barrier.Arrive();
-  };
-  const auto result =
-      target.queue->Push(std::move(task), OverloadPolicy::kBlock,
-                         /*sheddable=*/false, /*shed_out=*/nullptr);
-  KVEC_CHECK(result == BoundedQueue<ShardTask>::PushResult::kAccepted);
-  barrier.Wait();
+  });
   return stats;
+}
+
+int ShardedStreamServer::CompactAll() {
+  int compacted = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    bool ran = false;
+    RunOnShard(static_cast<int>(s),
+               [&ran](StreamServer& server) { ran = server.Compact(); });
+    if (ran) ++compacted;
+  }
+  return compacted;
 }
 
 Checkpoint ShardedStreamServer::BuildCheckpoint() const {
@@ -433,16 +458,18 @@ Checkpoint ShardedStreamServer::BuildCheckpoint() const {
         {kCheckpointSectionShardManifest, manifest.buffer()});
   }
   // Each shard snapshots on its owner (async: behind everything already
-  // queued — drain-then-snapshot; sync: under its mutex). Cross-shard
-  // consistency is the caller's quiesce protocol, as documented.
-  std::vector<BinaryWriter> writers(shards_.size());
-  RunOnAllShards([&writers](int s, StreamServer& server) {
-    writers[s].WriteInt32(static_cast<int32_t>(s));
-    server.Snapshot(&writers[s]);
-  });
+  // queued — drain-then-snapshot; sync: under its mutex), ONE SHARD AT A
+  // TIME: while shard s serializes, every other shard keeps serving. The
+  // original all-shard fan-out stalled the whole fleet for the duration
+  // of the slowest serialization; now the pause per shard is just its own
+  // snapshot. Cross-shard consistency is unchanged either way — it is the
+  // caller's quiesce protocol, as documented.
   for (size_t s = 0; s < shards_.size(); ++s) {
-    checkpoint.sections.push_back({kCheckpointSectionShard,
-                                   writers[s].buffer()});
+    BinaryWriter writer;
+    writer.WriteInt32(static_cast<int32_t>(s));
+    RunOnShard(static_cast<int>(s),
+               [&writer](StreamServer& server) { server.Snapshot(&writer); });
+    checkpoint.sections.push_back({kCheckpointSectionShard, writer.buffer()});
   }
   return checkpoint;
 }

@@ -148,6 +148,15 @@ class ShardedStreamServer {
   // One shard's own stats (same snapshot discipline as stats()).
   StreamServerStats shard_stats(int shard) const;
 
+  // Forces a pool compaction on every shard (StreamServer::Compact), one
+  // shard at a time through the owner seam — shard s rebuilds its pool
+  // while every other shard keeps serving, so it composes with the
+  // overload policies the same way checkpoint encode does. Returns how
+  // many shards actually compacted (the `compaction.run` fault point can
+  // suppress individual shards). The heuristic pass needs no call here:
+  // each shard's own serving loop triggers it.
+  int CompactAll();
+
   int open_keys() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
   bool asynchronous() const { return config_.worker_threads > 0; }
@@ -203,6 +212,12 @@ class ShardedStreamServer {
   // Posts `fn` to every shard (async: non-sheddable control task; sync:
   // runs under the shard mutex) and blocks until all shards ran it.
   void RunOnAllShards(const std::function<void(int, StreamServer&)>& fn) const;
+  // Same seam for ONE shard: runs `fn` on the owning worker (async) or
+  // under the shard mutex (sync) and blocks until it ran. Checkpoint
+  // encode and CompactAll iterate this so only one shard is paused at a
+  // time while the rest of the fleet keeps serving.
+  void RunOnShard(int shard,
+                  const std::function<void(StreamServer&)>& fn) const;
   // Charges `count` dropped items against `shard`'s shed counters.
   static void CountShed(Shard* shard, int64_t batches, int64_t items);
 

@@ -1,7 +1,10 @@
 #include "core/stream_server.h"
 
+#include <algorithm>
+
 #include "tensor/tensor.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace kvec {
 
@@ -23,13 +26,19 @@ void StreamServerStats::Merge(const StreamServerStats& other) {
   items_submitted += other.items_submitted;
   batches_shed += other.batches_shed;
   items_shed += other.items_shed;
+  bytes_resident += other.bytes_resident;
+  pool_blocks += other.pool_blocks;
+  scratch_high_water += other.scratch_high_water;
+  compactions += other.compactions;
 }
 
 StreamServer::StreamServer(const KvecModel& model,
                            const StreamServerConfig& config)
     : model_(model),
       config_(config),
-      engine_(std::make_unique<OnlineClassifier>(model)) {
+      pool_(std::make_unique<ShardPool>()),
+      engine_(std::make_unique<OnlineClassifier>(model, pool_->resource())),
+      index_(std::make_unique<KeyIndex>(pool_->resource())) {
   KVEC_CHECK_GT(config_.max_window_items, 0);
   KVEC_CHECK_GT(config_.idle_timeout, 0);
   KVEC_CHECK_GT(config_.idle_check_interval, 0);
@@ -63,19 +72,19 @@ void StreamServer::RecordEvent(const StreamEvent& event) {
 }
 
 void StreamServer::CloseKey(OpenKeyMap::iterator it) {
-  by_last_seen_.erase({it->second.last_seen, it->first});
-  open_.erase(it);
+  index_->by_last_seen.erase({it->second.last_seen, it->first});
+  index_->open.erase(it);
 }
 
 void StreamServer::CloseKey(int key) {
-  auto it = open_.find(key);
-  if (it != open_.end()) CloseKey(it);
+  auto it = index_->open.find(key);
+  if (it != index_->open.end()) CloseKey(it);
 }
 
 void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
                               std::vector<StreamEvent>* events) {
-  auto it = open_.find(key);
-  if (it == open_.end()) return;
+  auto it = index_->open.find(key);
+  if (it == index_->open.end()) return;
   StreamEvent event;
   event.key = key;
   event.cause = cause;
@@ -89,12 +98,12 @@ void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
 void StreamServer::RotateWindow(std::vector<StreamEvent>* events) {
   // Close everything still open under the old engine, then rebuild it.
   std::vector<int> keys;
-  keys.reserve(open_.size());
-  for (const auto& [key, state] : open_) keys.push_back(key);
+  keys.reserve(index_->open.size());
+  for (const auto& [key, state] : index_->open) keys.push_back(key);
   for (int key : keys) {
     ForceClose(key, StreamEvent::Cause::kWindowRotation, events);
   }
-  engine_ = std::make_unique<OnlineClassifier>(model_);
+  engine_ = std::make_unique<OnlineClassifier>(model_, pool_->resource());
   window_items_ = 0;
   ++stats_.windows_started;
 }
@@ -102,9 +111,9 @@ void StreamServer::RotateWindow(std::vector<StreamEvent>* events) {
 void StreamServer::EvictIdle(std::vector<StreamEvent>* events) {
   // Oldest-first walk of the recency index: stop at the first key still
   // inside its idle window. O(evicted), not O(open keys).
-  while (!by_last_seen_.empty() &&
-         position_ - by_last_seen_.begin()->first >= config_.idle_timeout) {
-    ForceClose(by_last_seen_.begin()->second, StreamEvent::Cause::kIdleTimeout,
+  while (!index_->by_last_seen.empty() &&
+         position_ - index_->by_last_seen.begin()->first >= config_.idle_timeout) {
+    ForceClose(index_->by_last_seen.begin()->second, StreamEvent::Cause::kIdleTimeout,
                events);
   }
 }
@@ -130,13 +139,13 @@ void StreamServer::Bookkeep(const Item& item, const OnlineDecision& decision,
     RecordEvent(event);
     events->push_back(event);
   } else {
-    auto [it, inserted] = open_.try_emplace(item.key);
-    if (!inserted) by_last_seen_.erase({it->second.last_seen, item.key});
+    auto [it, inserted] = index_->open.try_emplace(item.key);
+    if (!inserted) index_->by_last_seen.erase({it->second.last_seen, item.key});
     it->second.last_seen = position_;
-    by_last_seen_.insert({position_, item.key});
-    if (static_cast<int>(open_.size()) > config_.max_open_keys) {
+    index_->by_last_seen.insert({position_, item.key});
+    if (static_cast<int>(index_->open.size()) > config_.max_open_keys) {
       // Evict the least recently active key: the front of the recency index.
-      ForceClose(by_last_seen_.begin()->second,
+      ForceClose(index_->by_last_seen.begin()->second,
                  StreamEvent::Cause::kCapacityEviction, events);
     }
   }
@@ -153,6 +162,7 @@ std::vector<StreamEvent> StreamServer::Observe(const Item& item) {
 
   OnlineDecision decision = engine_->Observe(item);
   Bookkeep(item, decision, &events);
+  MaybeCompact(1);
   return events;
 }
 
@@ -180,9 +190,69 @@ std::vector<StreamEvent> StreamServer::ObserveBatch(
           item.key, rows.data() + static_cast<size_t>(i) * embed);
       Bookkeep(item, decision, &events);
     }
+    // The microbatch is drained: rewind the encoder's scratch arena so a
+    // rare giant batch does not pin its high-water reservation forever.
+    engine_->ResetEncodeScratch();
+    MaybeCompact(chunk);
     begin += chunk;
   }
   return events;
+}
+
+bool StreamServer::Compact() {
+  // Failable point: tests suppress the heuristic here, or stall a worker
+  // mid-compaction to compose with the overload policies.
+  if (KVEC_FAULT_POINT("compaction.run")) return false;
+  auto pool = std::make_unique<ShardPool>();
+  // Order matters. (1) Move the engine's state into the fresh pool while
+  // both pools are alive; (2) rebuild the open-key index (uses-allocator
+  // copies land in the fresh pool); (3) drop the old index, then (4) the
+  // old pool — destruction of pool-backed containers must precede their
+  // pool's.
+  engine_->Repool(pool->resource());
+  auto index = std::make_unique<KeyIndex>(pool->resource());
+  for (const auto& entry : index_->open) index->open.insert(entry);
+  for (const auto& entry : index_->by_last_seen) {
+    index->by_last_seen.insert(entry);
+  }
+  index_ = std::move(index);
+  pool_ = std::move(pool);
+  ++stats_.compactions;
+  items_since_compaction_check_ = 0;
+  return true;
+}
+
+void StreamServer::MaybeCompact(int items) {
+  if (config_.compaction_check_interval <= 0) return;
+  items_since_compaction_check_ += items;
+  if (items_since_compaction_check_ < config_.compaction_check_interval) {
+    return;
+  }
+  items_since_compaction_check_ = 0;
+  if (static_cast<int64_t>(pool_->bytes_resident()) <
+      config_.compaction_min_bytes) {
+    return;
+  }
+  if (pool_->fragmentation() < config_.compaction_fragmentation_threshold) {
+    return;
+  }
+  Compact();
+}
+
+void StreamServer::RefreshMemoryStats() const {
+  stats_.bytes_resident = static_cast<int64_t>(pool_->bytes_resident() +
+                                               engine_->encoder_resident_bytes());
+  stats_.pool_blocks = static_cast<int64_t>(pool_->blocks_resident());
+  // High-water over the server's lifetime, not the current engine's — a
+  // window rotation replaces the engine (and its scratch arena) wholesale.
+  stats_.scratch_high_water =
+      std::max(stats_.scratch_high_water,
+               static_cast<int64_t>(engine_->scratch_high_water()));
+}
+
+const StreamServerStats& StreamServer::stats() const {
+  RefreshMemoryStats();
+  return stats_;
 }
 
 void StreamServer::Snapshot(BinaryWriter* writer) const {
@@ -209,8 +279,8 @@ void StreamServer::Snapshot(BinaryWriter* writer) const {
   // ingest layer's process lifetime, not to serving state, and leaving
   // them out keeps the v1 snapshot layout byte-identical.
 
-  writer->WriteInt32(static_cast<int32_t>(open_.size()));
-  for (const auto& [key, state] : open_) {  // std::map: canonical order
+  writer->WriteInt32(static_cast<int32_t>(index_->open.size()));
+  for (const auto& [key, state] : index_->open) {  // std::map: canonical order
     writer->WriteInt32(key);
     writer->WriteInt64(state.last_seen);
   }
@@ -258,8 +328,10 @@ bool StreamServer::Restore(BinaryReader* reader) {
     stats.class_counts[c] = reader->ReadInt64();
   }
 
-  OpenKeyMap open;
-  std::set<std::pair<int64_t, int>> by_last_seen;
+  // Staged into the live shard pool (the pool just grows while the old
+  // state still exists; a failed restore leaves only recyclable pool
+  // space behind, which the next compaction reclaims).
+  auto index = std::make_unique<KeyIndex>(pool_->resource());
   const int32_t num_open = reader->ReadInt32();
   if (!reader->ok() || num_open < 0 ||
       static_cast<size_t>(num_open) > reader->remaining() / 8 ||
@@ -273,27 +345,36 @@ bool StreamServer::Restore(BinaryReader* reader) {
     if (!reader->ok() || state.last_seen < 0 || state.last_seen > position) {
       return false;
     }
-    if (!open.emplace(key, state).second) return false;
-    by_last_seen.insert({state.last_seen, key});
+    if (!index->open.emplace(key, state).second) return false;
+    index->by_last_seen.insert({state.last_seen, key});
   }
   if (!reader->ok()) return false;
 
   // A fresh engine keeps the current one intact if the engine section is
   // the part that turns out to be corrupt.
-  auto engine = std::make_unique<OnlineClassifier>(model_);
+  auto engine = std::make_unique<OnlineClassifier>(model_, pool_->resource());
   if (!engine->Restore(reader)) return false;
   // The snapshot is the last thing in its section: bytes after it are
   // corruption the container framing cannot see. Checked before the
   // commit below so a tainted checkpoint leaves *this untouched.
   if (!reader->AtEnd()) return false;
 
+  // The compaction knobs and lifetime counter are process-local (never
+  // serialized; see StreamServerConfig): a restore keeps the live values.
+  config.compaction_check_interval = config_.compaction_check_interval;
+  config.compaction_fragmentation_threshold =
+      config_.compaction_fragmentation_threshold;
+  config.compaction_min_bytes = config_.compaction_min_bytes;
+  stats.compactions = stats_.compactions;
+  stats.scratch_high_water = stats_.scratch_high_water;
+
   config_ = config;
   position_ = position;
   window_items_ = window_items;
   stats_ = std::move(stats);
-  open_ = std::move(open);
-  by_last_seen_ = std::move(by_last_seen);
+  index_ = std::move(index);
   engine_ = std::move(engine);
+  items_since_compaction_check_ = 0;
   return true;
 }
 
@@ -337,8 +418,8 @@ bool StreamServer::LoadCheckpoint(const std::string& path) {
 std::vector<StreamEvent> StreamServer::Flush() {
   std::vector<StreamEvent> events;
   std::vector<int> keys;
-  keys.reserve(open_.size());
-  for (const auto& [key, state] : open_) keys.push_back(key);
+  keys.reserve(index_->open.size());
+  for (const auto& [key, state] : index_->open) keys.push_back(key);
   for (int key : keys) ForceClose(key, StreamEvent::Cause::kFlush, &events);
   return events;
 }

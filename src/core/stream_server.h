@@ -29,17 +29,32 @@
 // Threading: NOT thread-safe — one server serves one stream from one
 // thread. For concurrent ingest wrap shards in ShardedStreamServer,
 // which serialises same-shard callers on a per-shard mutex.
+//
+// Memory: all long-lived per-key state — the open-key map, the recency
+// index, the engine's key-state map, and the correlation containers —
+// allocates from a per-server ShardPool (std::pmr::unsynchronized_pool_
+// resource), so eviction/insert churn recycles pool nodes instead of
+// hitting the global allocator. A fragmentation heuristic (pool bytes
+// resident vs live) periodically triggers Compact(), which rebuilds the
+// state into a fresh pool and returns the old pool's chunks to the OS in
+// one sweep. Compaction is semantics-free: a server that compacts
+// mid-stream emits bit-identical StreamEvents and byte-identical
+// checkpoints versus one that never compacts (pinned by
+// tests/core_compaction_test.cc). docs/SERVING.md "Memory management"
+// covers the lifecycle and knobs.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <memory_resource>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/online.h"
+#include "util/arena.h"
 #include "util/serialize.h"
 
 namespace kvec {
@@ -69,6 +84,21 @@ struct StreamServerConfig {
   int idle_check_interval = 32;
   // Maximum concurrently open keys before LRU eviction.
   int max_open_keys = 1024;
+
+  // ---- Compaction (process-local; deliberately NOT serialized into
+  // checkpoints — Restore keeps the live server's values, so operators can
+  // retune without invalidating checkpoints and the v1 layout stays
+  // byte-identical). ----
+  //
+  // Run the fragmentation check every `compaction_check_interval` observed
+  // items; <= 0 disables automatic compaction (explicit Compact() calls
+  // still work).
+  int compaction_check_interval = 4096;
+  // Compact when pool bytes_resident / bytes_live exceeds this ratio ...
+  double compaction_fragmentation_threshold = 2.0;
+  // ... and the pool holds at least this many resident bytes (small pools
+  // are never worth rebuilding).
+  int64_t compaction_min_bytes = 4 << 20;
 };
 
 struct StreamEvent {
@@ -111,6 +141,18 @@ struct StreamServerStats {
   int64_t batches_shed = 0;     // batches dropped by a shed overload policy
   int64_t items_shed = 0;       // items inside those dropped batches
 
+  // ---- Memory counters. ----
+  //
+  // Gauges refreshed from the shard pool / encoder on every stats() read,
+  // plus a lifetime compaction counter. Like the transport counters they
+  // are NOT serialized (process-lifetime observability, and the v1
+  // checkpoint layout stays byte-identical). Merge() sums them, so a
+  // sharded server's view reports fleet-total resident bytes.
+  int64_t bytes_resident = 0;      // shard pool + encoder arena + scratch
+  int64_t pool_blocks = 0;         // chunks the pool holds from the OS
+  int64_t scratch_high_water = 0;  // batch scratch arena high-water bytes
+  int64_t compactions = 0;         // Compact() runs (heuristic or forced)
+
   // Accumulates `other` into this view: counters and class_counts are
   // summed (class_counts widened as needed); windows_started adds up, so
   // start a merged view from windows_started = 0.
@@ -145,8 +187,20 @@ class StreamServer {
   // Force-classifies all still-open keys (end of stream).
   std::vector<StreamEvent> Flush();
 
-  const StreamServerStats& stats() const { return stats_; }
-  int open_keys() const { return static_cast<int>(open_.size()); }
+  // Rebuilds all pool-backed state (open-key index, engine key states,
+  // correlation containers) into a fresh ShardPool, tight-packs the
+  // encoder's K/V arena, and releases the old pool's chunks. Observable
+  // behaviour is unchanged: subsequent events and checkpoints are
+  // identical to a never-compacted server. Called automatically by the
+  // fragmentation heuristic (see StreamServerConfig); safe to force at any
+  // item boundary. Returns false when the `compaction.run` fault point
+  // suppressed the run.
+  bool Compact();
+
+  // Refreshes the memory gauges before returning (compactions/counters are
+  // maintained incrementally; the gauges mirror live pool state).
+  const StreamServerStats& stats() const;
+  int open_keys() const { return static_cast<int>(index_->open.size()); }
 
   // ---- Checkpoint / warm restart (docs/SERVING.md). ----
   //
@@ -189,27 +243,50 @@ class StreamServer {
   void Bookkeep(const Item& item, const OnlineDecision& decision,
                 std::vector<StreamEvent>* events);
 
-  using OpenKeyMap = std::map<int, OpenKey>;
+  using OpenKeyMap = std::pmr::map<int, OpenKey>;
+
+  // The pool-backed serving index. pmr allocators do not propagate on
+  // assignment, so rebinding to a fresh pool (Compact) means
+  // reconstructing the containers; grouping them in one struct behind a
+  // pointer makes the rebuild an allocate-copy-swap.
+  struct KeyIndex {
+    explicit KeyIndex(std::pmr::memory_resource* memory)
+        : open(memory), by_last_seen(memory) {}
+
+    OpenKeyMap open;  // keys fed to the engine, not yet closed
+    // Mirror of open ordered by recency: one (last_seen, key) entry per
+    // open key. begin() is the LRU candidate; idle sweeps walk it
+    // oldest-first.
+    std::pmr::set<std::pair<int64_t, int>> by_last_seen;
+  };
 
   // Shared bodies of the four checkpoint entry points.
   Checkpoint BuildCheckpoint() const;
   bool RestoreFromCheckpoint(const Checkpoint& checkpoint);
 
-  // Remove a key from open_ and by_last_seen_ together — the only place
+  // Remove a key from open and by_last_seen together — the only place
   // the two structures' mirror invariant is maintained on the close path.
   void CloseKey(OpenKeyMap::iterator it);
   void CloseKey(int key);  // no-op if not open
 
+  // Runs the fragmentation heuristic after `items` more observed items;
+  // calls Compact() when it trips.
+  void MaybeCompact(int items);
+  // Copies live pool/encoder gauges into stats_ (const via mutable: the
+  // gauges are observability, not serving state).
+  void RefreshMemoryStats() const;
+
   const KvecModel& model_;
   StreamServerConfig config_;
+  // Declared before the members that allocate from it so it outlives them
+  // (destruction runs bottom-up).
+  std::unique_ptr<ShardPool> pool_;
   std::unique_ptr<OnlineClassifier> engine_;
-  OpenKeyMap open_;  // keys fed to the engine, not yet closed
-  // Mirror of open_ ordered by recency: one (last_seen, key) entry per open
-  // key. begin() is the LRU candidate; idle sweeps walk it oldest-first.
-  std::set<std::pair<int64_t, int>> by_last_seen_;
+  std::unique_ptr<KeyIndex> index_;
   int64_t position_ = 0;  // global items processed
   int window_items_ = 0;  // items in the current engine window
-  StreamServerStats stats_;
+  int items_since_compaction_check_ = 0;
+  mutable StreamServerStats stats_;
 };
 
 }  // namespace kvec

@@ -20,7 +20,7 @@ InferenceMode::~InferenceMode() { --t_inference_depth; }
 bool InferenceMode::Enabled() { return t_inference_depth > 0; }
 
 TensorImpl::~TensorImpl() {
-  BufferPool::Global().Release(std::move(data));
+  if (data_from_pool) BufferPool::Global().Release(std::move(data));
   BufferPool::Global().Release(std::move(grad));
 }
 
@@ -42,6 +42,7 @@ Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
   impl->cols = cols;
   impl->data =
       BufferPool::Global().Acquire(static_cast<size_t>(rows) * cols, value);
+  impl->data_from_pool = true;
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -207,6 +208,7 @@ Tensor MakeOpOutput(int rows, int cols,
   impl->cols = cols;
   impl->data = BufferPool::Global().AcquireUninitialized(
       static_cast<size_t>(rows) * cols);
+  impl->data_from_pool = true;
   impl->requires_grad = requires_grad;
   Tensor out(std::move(impl));
   if (requires_grad) {

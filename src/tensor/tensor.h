@@ -40,6 +40,13 @@ struct TensorImpl {
   int cols = 0;
   std::vector<float> data;
   std::vector<float> grad;  // allocated lazily; same layout as `data`
+  // True when `data` came from the BufferPool (Zeros/Full/op outputs). Only
+  // pool-acquired storage is returned on destruction; adopted vectors
+  // (FromData and friends) free normally. Without the distinction every
+  // adopted buffer is a net deposit into the pool — releases permanently
+  // outnumber acquires and the free list ratchets up to its cap instead of
+  // holding steady at the live working set. `grad` is always pool-acquired.
+  bool data_from_pool = false;
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   // Propagates `grad` of this node into the parents' `grad`.

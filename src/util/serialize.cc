@@ -63,10 +63,13 @@ void BinaryWriter::WriteFloats(const float* values, size_t count) {
 }
 
 void BinaryWriter::WriteIntVector(const std::vector<int>& values) {
+  WriteInts(values.data(), values.size());
+}
+void BinaryWriter::WriteInts(const int* values, size_t count) {
   Append(&kTagIntVec, sizeof(kTagIntVec));
-  int64_t size = static_cast<int64_t>(values.size());
+  int64_t size = static_cast<int64_t>(count);
   Append(&size, sizeof(size));
-  Append(values.data(), values.size() * sizeof(int));
+  Append(values, count * sizeof(int));
 }
 
 bool BinaryWriter::SaveToFile(const std::string& path) const {

@@ -39,6 +39,9 @@ class BinaryWriter {
   // intermediate std::vector copy; used by the encoder arena snapshot).
   void WriteFloats(const float* values, size_t count);
   void WriteIntVector(const std::vector<int>& values);
+  // Same wire format as WriteIntVector, straight from a raw buffer (used by
+  // the pmr-backed per-key state, whose vectors are not std::vector).
+  void WriteInts(const int* values, size_t count);
 
   const std::string& buffer() const { return buffer_; }
 

@@ -371,5 +371,60 @@ TEST_F(OverloadTest, QueuePushDelayPointWidensTheRaceWindow) {
   EXPECT_EQ(stats.items_submitted, stats.items_processed + stats.items_shed);
 }
 
+TEST_F(OverloadTest, CompactionUnderOverloadShedsCountedAndCompletes) {
+  // A compaction pass is a control task on the owning worker, so a slow
+  // compaction IS an overload condition: while the worker is held inside
+  // `compaction.run`, its depth-1 queue saturates and the shed policy must
+  // count every drop — and the compaction itself must complete and leave a
+  // serving, invariant-clean shard.
+  const Fixture& fixture = SharedFixture();
+  const std::vector<Item> stream = OfferedStream(fixture.dataset, 2);
+  const std::vector<std::vector<Item>> batches = Batches(stream, 8);
+  ASSERT_GT(batches.size(), 2u);
+
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> stalled{false};
+  FaultInjection::Arm("compaction.run", [&](const char*) {
+    stalled.store(true);
+    released.wait();
+    return false;  // stall only; the compaction then runs
+  });
+
+  ShardedStreamServerConfig config;
+  config.num_shards = 1;
+  config.worker_threads = 1;
+  config.queue_depth = 1;
+  config.overload_policy = OverloadPolicy::kShedNewest;
+  config.shard.compaction_check_interval = 0;  // only the forced pass runs
+  ShardedStreamServer server(*fixture.model, config);
+  server.Submit(batches[0]);
+  server.Drain();  // some real state in the pool before compacting
+
+  // CompactAll blocks until the shard ran it, so it needs its own thread;
+  // the producer below saturates the queue while the worker is stalled
+  // inside the compaction.
+  std::thread compactor([&server]() { EXPECT_EQ(server.CompactAll(), 1); });
+  while (!stalled.load()) std::this_thread::yield();
+  for (const std::vector<Item>& batch : batches) server.Submit(batch);
+  release.set_value();
+  compactor.join();
+  server.Drain();
+
+  const StreamServerStats stats = server.stats();
+  EXPECT_EQ(stats.compactions, 1);
+  EXPECT_EQ(FaultInjection::FireCount("compaction.run"), 1);
+  EXPECT_EQ(stats.items_submitted,
+            static_cast<int64_t>(stream.size() + batches[0].size()));
+  EXPECT_EQ(stats.items_submitted, stats.items_processed + stats.items_shed);
+  EXPECT_GT(stats.items_shed, 0);  // the stall really saturated the queue
+
+  // The shard still serves after the compaction-under-pressure episode.
+  const int64_t processed_before = stats.items_processed;
+  server.Submit(batches[0]);
+  server.Drain();
+  EXPECT_GT(server.stats().items_processed, processed_before);
+}
+
 }  // namespace
 }  // namespace kvec

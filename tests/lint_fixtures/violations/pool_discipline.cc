@@ -1,0 +1,12 @@
+// Fixture: fires pool-discipline — raw pmr resource primitives outside
+// src/util/arena.* and C allocation calls anywhere.
+#include <cstdlib>
+#include <memory_resource>
+
+void* FixturePoolDiscipline() {
+  std::pmr::unsynchronized_pool_resource pool;  // raw primitive
+  std::pmr::monotonic_buffer_resource scratch;  // raw primitive
+  void* block = malloc(64);                     // C allocation
+  free(block);                                  // C allocation
+  return std::pmr::new_delete_resource();       // raw primitive
+}
