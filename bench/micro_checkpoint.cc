@@ -7,12 +7,20 @@
 // serving-layer state (per-key fusion rows, encoder K/V arena, correlation
 // index), which scales with open keys and window items, not with model
 // quality.
+// PR 10 adds the incremental-checkpoint curves: delta encode under churn
+// (cost proportional to dirty keys, not population), the full rebase
+// comparator, and restore-from-chain latency by chain length. The
+// acceptance line is delta encode at 1% churn >= 20x faster than a full
+// write at 100k open keys (BENCH_PR10.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/sharded_stream_server.h"
 #include "core/stream_server.h"
 
 namespace kvec {
@@ -116,6 +124,174 @@ void BM_CheckpointFileRoundTrip(benchmark::State& state) {
   state.counters["open_keys"] = server.open_keys();
 }
 BENCHMARK(BM_CheckpointFileRoundTrip)->Arg(1 << 10)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Incremental checkpointing (PR 10) -----------------------------------
+
+ShardedStreamServerConfig ShardedUnbounded() {
+  ShardedStreamServerConfig config;
+  config.num_shards = 1;
+  config.shard = UnboundedConfig();
+  return config;
+}
+
+void FillOpenKeysSharded(ShardedStreamServer* server, int target_open) {
+  int key = 0;
+  std::vector<Item> batch;
+  while (server->open_keys() < target_open && key < (1 << 21)) {
+    batch.clear();
+    for (int i = 0; i < 2048; ++i) {
+      Item item;
+      item.key = key;
+      item.value = {key % 3};
+      item.time = key;
+      ++key;
+      batch.push_back(item);
+    }
+    server->ObserveBatch(batch);
+  }
+}
+
+// Re-observes `count` already-seen keys: each touch dirties the key's
+// serving entry, engine state, and correlation rows, which is exactly the
+// churn a delta has to carry.
+void ChurnKeys(ShardedStreamServer* server, int count, int* next, int limit,
+               int64_t* clock) {
+  std::vector<Item> batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Item item;
+    item.key = *next % limit;
+    *next += 1;
+    item.value = {item.key % 3};
+    item.time = static_cast<double>((*clock)++);
+    batch.push_back(item);
+  }
+  server->ObserveBatch(batch);
+}
+
+void UnlinkChain(const std::string& base) {
+  for (int64_t seq = 1;; ++seq) {
+    if (std::remove(ShardedStreamServer::DeltaPath(base, seq).c_str()) != 0) {
+      break;
+    }
+  }
+  std::remove(base.c_str());
+}
+
+int64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<int64_t>(in.tellg()) : 0;
+}
+
+// Delta write cost as a function of churn: range(0) open keys, range(1)
+// percent of them re-touched between writes. The chain never rebases, so
+// every iteration times exactly one delta encode + atomic file write.
+void BM_DeltaCheckpointWrite(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  const int churn_keys =
+      std::max<int>(1, open_keys * static_cast<int>(state.range(1)) / 100);
+  KvecModel model = MakeModel();
+  ShardedStreamServer server(model, ShardedUnbounded());
+  FillOpenKeysSharded(&server, open_keys);
+  const std::string base = "/tmp/kvec_bench_delta_chain.ckpt";
+  UnlinkChain(base);
+  ShardedStreamServer::IncrementalCheckpointState chain;
+  if (!server.CheckpointIncremental(base, /*rebase_every=*/0, &chain)) {
+    state.SkipWithError("base rebase failed");
+    return;
+  }
+  int next = 0;
+  int64_t clock = 1 << 21;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ChurnKeys(&server, churn_keys, &next, open_keys, &clock);
+    state.ResumeTiming();
+    if (!server.CheckpointIncremental(base, /*rebase_every=*/0, &chain)) {
+      state.SkipWithError("delta write failed");
+      break;
+    }
+  }
+  state.counters["open_keys"] = server.open_keys();
+  state.counters["churn_keys"] = churn_keys;
+  state.counters["delta_bytes"] = static_cast<double>(
+      FileBytes(ShardedStreamServer::DeltaPath(base, chain.deltas_written)));
+  UnlinkChain(base);
+}
+BENCHMARK(BM_DeltaCheckpointWrite)
+    ->Args({8192, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+// The rebase comparator: a fresh chain state forces the full-base branch
+// every iteration, so this times a complete encode + atomic file write of
+// the whole population — the denominator of the >= 20x acceptance ratio.
+void BM_FullCheckpointWrite(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  KvecModel model = MakeModel();
+  ShardedStreamServer server(model, ShardedUnbounded());
+  FillOpenKeysSharded(&server, open_keys);
+  const std::string base = "/tmp/kvec_bench_full_chain.ckpt";
+  UnlinkChain(base);
+  for (auto _ : state) {
+    ShardedStreamServer::IncrementalCheckpointState chain;
+    if (!server.CheckpointIncremental(base, /*rebase_every=*/0, &chain)) {
+      state.SkipWithError("full write failed");
+      break;
+    }
+  }
+  state.counters["open_keys"] = server.open_keys();
+  state.counters["base_bytes"] = static_cast<double>(FileBytes(base));
+  UnlinkChain(base);
+}
+BENCHMARK(BM_FullCheckpointWrite)
+    ->Arg(8192)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold-start latency from a base plus range(1) deltas at 1% churn each:
+// the price of a longer chain, i.e. what --rebase-every trades against the
+// per-delta savings.
+void BM_RestoreFromChain(benchmark::State& state) {
+  const int open_keys = static_cast<int>(state.range(0));
+  const int chain_length = static_cast<int>(state.range(1));
+  const int churn_keys = std::max<int>(1, open_keys / 100);
+  KvecModel model = MakeModel();
+  ShardedStreamServer server(model, ShardedUnbounded());
+  FillOpenKeysSharded(&server, open_keys);
+  const std::string base = "/tmp/kvec_bench_restore_chain.ckpt";
+  UnlinkChain(base);
+  ShardedStreamServer::IncrementalCheckpointState chain;
+  if (!server.CheckpointIncremental(base, /*rebase_every=*/0, &chain)) {
+    state.SkipWithError("base rebase failed");
+    return;
+  }
+  int next = 0;
+  int64_t clock = 1 << 21;
+  for (int d = 0; d < chain_length; ++d) {
+    ChurnKeys(&server, churn_keys, &next, open_keys, &clock);
+    if (!server.CheckpointIncremental(base, /*rebase_every=*/0, &chain)) {
+      state.SkipWithError("delta write failed");
+      return;
+    }
+  }
+  ShardedStreamServer target(model, ShardedUnbounded());
+  for (auto _ : state) {
+    if (!target.RestoreFromCheckpointChain(base)) {
+      state.SkipWithError("chain restore failed");
+      break;
+    }
+  }
+  state.counters["open_keys"] = server.open_keys();
+  state.counters["chain_length"] = chain_length;
+  UnlinkChain(base);
+}
+BENCHMARK(BM_RestoreFromChain)
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({8192, 5})
+    ->Args({100000, 5})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -26,8 +26,15 @@
 #                    and compaction counts; the PR-9 memory subsystem).
 #                    The soak CLI emits this shape itself via --curve, and
 #                    the run FAILS if post-warm-up RSS trends upward.
+#   BENCH_PR10.json — incremental checkpointing (delta write latency vs
+#                    churn at 8k/100k open keys, the full rebase write as
+#                    the comparator, and restore-from-chain latency by
+#                    chain length; the PR-10 delta subsystem). The
+#                    acceptance ratio — delta at 1% churn >= 20x faster
+#                    than a full write at 100k open keys — is checked by
+#                    the script after the run.
 #
-# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6] [out_pr8] [out_pr9]
+# Usage: bench/run_benchmarks.sh [build_dir] [out_pr1] [out_pr3] [out_pr4] [out_pr6] [out_pr8] [out_pr9] [out_pr10]
 #   build_dir  defaults to ./build (must contain micro_ops / micro_encoder /
 #              micro_pipeline / micro_checkpoint / micro_stream_shard /
 #              micro_net, plus the kvec driver)
@@ -37,6 +44,7 @@
 #   out_pr6    defaults to ./BENCH_PR6.json
 #   out_pr8    defaults to ./BENCH_PR8.json
 #   out_pr9    defaults to ./BENCH_PR9.json
+#   out_pr10   defaults to ./BENCH_PR10.json
 #
 # Threading: benchmarks honour KVEC_NUM_THREADS; the committed numbers are
 # single-thread (KVEC_NUM_THREADS=1) so machines with different core counts
@@ -50,6 +58,7 @@ OUT_PR4="${4:-BENCH_PR4.json}"
 OUT_PR6="${5:-BENCH_PR6.json}"
 OUT_PR8="${6:-BENCH_PR8.json}"
 OUT_PR9="${7:-BENCH_PR9.json}"
+OUT_PR10="${8:-BENCH_PR10.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -162,3 +171,25 @@ merge_reports "${TMP_DIR}/net.json" "${OUT_PR8}"
 "${BUILD_DIR}/kvec" soak --keys 100000 --scales 0.25,0.5,1 \
   --curve "${OUT_PR9}" --json > /dev/null
 echo "wrote ${OUT_PR9}"
+
+# ---- PR 10: incremental checkpointing (delta chain) ----
+
+"${BUILD_DIR}/micro_checkpoint" \
+  --benchmark_filter='BM_DeltaCheckpointWrite|BM_FullCheckpointWrite|BM_RestoreFromChain' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${TMP_DIR}/delta.json" --benchmark_out_format=json
+
+merge_reports "${TMP_DIR}/delta.json" "${OUT_PR10}"
+
+# The headline claim of the delta subsystem, asserted at report time so a
+# regression cannot silently land a stale-looking BENCH_PR10.json.
+python3 - "${OUT_PR10}" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))["benchmarks"]
+delta = report["BM_DeltaCheckpointWrite/100000/1"]["real_time_ns"]
+full = report["BM_FullCheckpointWrite/100000"]["real_time_ns"]
+ratio = full / delta
+print(f"delta vs full checkpoint write at 100k keys / 1% churn: {ratio:.1f}x")
+if ratio < 20.0:
+    sys.exit(f"FAIL: delta speedup {ratio:.1f}x is below the 20x acceptance bar")
+PYEOF

@@ -34,6 +34,14 @@ Enforces the rules no off-the-shelf tool knows about this codebase
                           wrapper, and no ``malloc``/``free`` family
                           anywhere (a malloc'd block can never move into a
                           compaction pool).
+* ``section-id``        — checkpoint-container section ids live in ONE
+                          registry (src/util/serialize.h): outside
+                          serialize.{h,cc} no new ``kCheckpointSection*``
+                          constant may be defined and no integer literal
+                          may be used as a section id (constructing a
+                          ``CheckpointSection`` or calling
+                          ``Checkpoint::Find``) — two subsystems colliding
+                          on an id silently corrupt each other's restores.
 
 Suppressions (a reason is mandatory):
 
@@ -68,6 +76,7 @@ RULES = (
     "test-wiring",
     "include-path",
     "pool-discipline",
+    "section-id",
 )
 
 ALLOW = re.compile(r"//\s*kvec-lint:\s*allow(-next)?\(([a-z-]+)\)\s*(\S.*)?$")
@@ -100,6 +109,15 @@ PMR_PRIMITIVE = re.compile(
     r"new_delete_resource|pool_options)\b")
 MALLOC_FAMILY = re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?"
                            r"(malloc|calloc|realloc|free)\s*\(")
+# A new registry constant outside the registry ("=" but not "=="), or an
+# integer literal where a section id belongs: brace-constructing a
+# CheckpointSection (directly or via sections.push_back/emplace_back) or
+# looking one up with Checkpoint::Find.
+SECTION_ID_CONST = re.compile(r"\bkCheckpointSection\w+\s*=(?!=)")
+SECTION_ID_LITERAL = re.compile(
+    r"(?:\bCheckpointSection\s*(?:\w+\s*)?\{|"
+    r"sections\.(?:push_back|emplace_back)\(\s*\{|"
+    r"\bFind\(\s*)[-+]?\d")
 
 
 def path_components(path):
@@ -200,6 +218,8 @@ def lint_file(file, repo_root, fault_doc, errors):
     in_net = "net" in comps and in_src
     in_arena = (in_src and "util" in comps
                 and os.path.basename(file.path).startswith("arena."))
+    in_serialize = (in_src and "util" in comps
+                    and os.path.basename(file.path).startswith("serialize."))
     file_dir = os.path.dirname(file.path)
 
     def report(lineno, rule, message):
@@ -259,6 +279,19 @@ def lint_file(file, repo_root, fault_doc, errors):
                    f"C allocation call '{malloc_call.group(1)}' (a malloc'd "
                    "block is invisible to the pool accounting; use "
                    "containers over ShardPool / ScratchArena)")
+
+        if not in_serialize:
+            if SECTION_ID_CONST.search(line):
+                report(lineno, "section-id",
+                       "checkpoint section-id constants are defined only in "
+                       "the registry in src/util/serialize.h (a duplicate "
+                       "definition can silently collide with another "
+                       "subsystem's id)")
+            elif SECTION_ID_LITERAL.search(line):
+                report(lineno, "section-id",
+                       "raw integer used as a checkpoint section id; use "
+                       "the named kCheckpointSection* constants from "
+                       "src/util/serialize.h")
 
         if in_src and not in_cli and IOSTREAM.search(line):
             report(lineno, "iostream-outside-cli",

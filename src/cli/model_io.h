@@ -25,16 +25,15 @@
 #include "core/model.h"
 #include "data/presets.h"
 #include "data/types.h"
+#include "util/serialize.h"
 #include "util/table.h"
 
 namespace kvec {
 namespace cli {
 
-// Checkpoint-container section ids of the model bundle. Disjoint from the
-// serving-state ids in core/stream_server.h (1–3) by construction; new
-// artifact kinds claim fresh ids rather than reusing these.
-inline constexpr int32_t kCheckpointSectionModelConfig = 16;
-inline constexpr int32_t kCheckpointSectionModelParams = 17;
+// The model bundle's checkpoint-container section ids
+// (kCheckpointSectionModelConfig / kCheckpointSectionModelParams) live in
+// the registry in util/serialize.h with every other id.
 
 // ---- Model bundle --------------------------------------------------------
 

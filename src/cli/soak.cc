@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "cli/args.h"
 #include "cli/json_writer.h"
 #include "core/config.h"
@@ -127,6 +129,10 @@ struct SoakOptions {
   double rss_band = kDefaultRssBand;
   double minutes = 0.0;
   bool checkpoint = true;
+  // Incremental mode replaces the per-cycle full encode/restore with a
+  // CheckpointIncremental / RestoreFromCheckpointChain round-trip, so the
+  // soak also proves the delta chain holds RSS flat under churn.
+  bool incremental = false;
   bool compact = true;
   uint64_t seed = 42;
   int compaction_check_interval = 4096;
@@ -191,6 +197,26 @@ bool RunStage(const KvecModel& model, const SoakOptions& options,
   ShardedStreamServer server(model, config);
   Rng rng(options.seed ^ static_cast<uint64_t>(target_keys));
   const DatasetSpec& spec = model.config().spec;
+
+  // Incremental mode round-trips through an on-disk delta chain; the chain
+  // lives in the temp dir and is unlinked when the stage finishes. A short
+  // rebase cadence keeps both the delta and the rebase branch hot.
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string chain_base =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/kvec_soak_" +
+      std::to_string(static_cast<long>(::getpid())) + "_" +
+      std::to_string(target_keys) + ".ckpt";
+  constexpr int64_t kSoakRebaseEvery = 3;
+  ShardedStreamServer::IncrementalCheckpointState chain_state;
+  auto unlink_chain = [&chain_base]() {
+    for (int64_t seq = 1;; ++seq) {
+      if (std::remove(
+              ShardedStreamServer::DeltaPath(chain_base, seq).c_str()) != 0) {
+        break;
+      }
+    }
+    std::remove(chain_base.c_str());
+  };
 
   const int64_t churn_keys = std::max<int64_t>(
       0, static_cast<int64_t>(options.churn * static_cast<double>(target_keys)));
@@ -270,11 +296,22 @@ bool RunStage(const KvecModel& model, const SoakOptions& options,
     }
 
     if (options.checkpoint) {
-      const std::string bytes = server.EncodeCheckpoint();
-      if (!server.RestoreCheckpoint(bytes)) {
-        *error = "soak checkpoint round-trip failed at cycle " +
-                 std::to_string(cycle);
-        return false;
+      if (options.incremental) {
+        if (!server.CheckpointIncremental(chain_base, kSoakRebaseEvery,
+                                          &chain_state) ||
+            !server.RestoreFromCheckpointChain(chain_base, &chain_state)) {
+          *error = "soak incremental checkpoint round-trip failed at cycle " +
+                   std::to_string(cycle);
+          unlink_chain();
+          return false;
+        }
+      } else {
+        const std::string bytes = server.EncodeCheckpoint();
+        if (!server.RestoreCheckpoint(bytes)) {
+          *error = "soak checkpoint round-trip failed at cycle " +
+                   std::to_string(cycle);
+          return false;
+        }
       }
       compaction_counter_floor = server.stats().compactions;
       cycle_rss_peak = std::max(cycle_rss_peak, ReadRssBytes());
@@ -301,6 +338,7 @@ bool RunStage(const KvecModel& model, const SoakOptions& options,
   result->seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
           .count();
+  if (options.incremental) unlink_chain();
 
   // The serving counters ARE serialized, so they survive the per-cycle
   // restores and read cumulatively here; the memory gauges were captured
@@ -446,6 +484,11 @@ int RunSoakCommand(const std::vector<std::string>& args, std::ostream& out,
       "checkpoint", true,
       "encode + restore a full serving checkpoint at peak population every "
       "cycle");
+  std::string* checkpoint_mode = parser.AddString(
+      "checkpoint-mode", "full",
+      "per-cycle checkpoint round-trip: full (in-memory encode/restore) or "
+      "incremental (on-disk delta chain via CheckpointIncremental + "
+      "RestoreFromCheckpointChain)");
   bool* compact = parser.AddBool(
       "compact", true, "force CompactAll every cycle (the fragmentation "
                        "heuristic still runs either way)");
@@ -507,6 +550,13 @@ int RunSoakCommand(const std::vector<std::string>& args, std::ostream& out,
   options.rss_band = *rss_band;
   options.minutes = *minutes;
   options.checkpoint = *checkpoint;
+  if (*checkpoint_mode == "incremental") {
+    options.incremental = true;
+  } else if (*checkpoint_mode != "full") {
+    err << "kvec: --checkpoint-mode must be full|incremental, got '"
+        << *checkpoint_mode << "'\n";
+    return kExitUsage;
+  }
   options.compact = *compact;
   options.seed = static_cast<uint64_t>(*seed);
   options.compaction_check_interval = static_cast<int>(*compaction_interval);

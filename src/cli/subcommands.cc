@@ -8,6 +8,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -757,6 +758,7 @@ struct ServeOutcome {
   StreamServerStats stats;
   int open_keys_after = 0;
   bool interrupted = false;
+  bool checkpoint_failed = false;  // a periodic checkpoint could not be written
   // Per-shard views (workers/sharded mode only) for the SIGINT report.
   std::vector<StreamServerStats> per_shard;
 };
@@ -888,10 +890,15 @@ Table PerShardTable(const std::vector<StreamServerStats>& per_shard) {
 // bench so the two subcommands cannot drift apart in semantics. Polls the
 // SIGINT flag at batch boundaries; on interrupt the rest of the stream is
 // skipped and no flush runs (keys stay open for --save-checkpoint).
+// Invoked at batch boundaries with the cumulative item count; returning
+// false aborts the replay (the periodic checkpoint could not be written).
+using ReplayTick = std::function<bool(int64_t fed)>;
+
 template <typename Server>
 ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
                           int batch, bool flush,
-                          const std::map<int, int>& truth) {
+                          const std::map<int, int>& truth,
+                          const ReplayTick& tick = nullptr) {
   ServeOutcome outcome;
   auto record = [&](const std::vector<StreamEvent>& events) {
     for (const StreamEvent& event : events) {
@@ -910,6 +917,10 @@ ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
       (void)KVEC_FAULT_POINT("serve.batch");
       record(server.Observe(item));
       ++fed;
+      if (tick && !tick(fed)) {
+        outcome.checkpoint_failed = true;
+        break;
+      }
     }
   } else {
     for (size_t begin = 0; begin < stream.size();
@@ -920,6 +931,10 @@ ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
       record(server.ObserveBatch(
           std::vector<Item>(stream.begin() + begin, stream.begin() + end)));
       fed += static_cast<int64_t>(end - begin);
+      if (tick && !tick(fed)) {
+        outcome.checkpoint_failed = true;
+        break;
+      }
     }
   }
   outcome.interrupted = g_serve_interrupted.load();
@@ -941,17 +956,25 @@ ServeOutcome ReplayStream(Server& server, const std::vector<Item>& stream,
 ServeOutcome ReplaySubmitStream(ShardedStreamServer& server,
                                 EventRecorder* recorder,
                                 const std::vector<Item>& stream, int batch,
-                                bool flush) {
+                                bool flush, const ReplayTick& tick = nullptr) {
   ServeOutcome outcome;
   const int64_t processed_before = server.stats().items_processed;
   const size_t step = static_cast<size_t>(std::max(1, batch));
   const auto start = std::chrono::steady_clock::now();
+  int64_t offered = 0;
   for (size_t begin = 0; begin < stream.size(); begin += step) {
     if (g_serve_interrupted.load()) break;
     (void)KVEC_FAULT_POINT("serve.batch");
     size_t end = std::min(stream.size(), begin + step);
     server.Submit(
         std::vector<Item>(stream.begin() + begin, stream.begin() + end));
+    offered += static_cast<int64_t>(end - begin);
+    // The periodic checkpoint runs as a shard control task, so it is safe
+    // to take while the workers keep draining their queues.
+    if (tick && !tick(offered)) {
+      outcome.checkpoint_failed = true;
+      break;
+    }
   }
   server.Drain();
   outcome.interrupted = g_serve_interrupted.load();
@@ -1178,6 +1201,18 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
       "load-checkpoint", "", "restore serving state before the replay");
   std::string* save_checkpoint = parser.AddString(
       "save-checkpoint", "", "snapshot serving state after the replay");
+  int64_t* checkpoint_every =
+      bench ? nullptr
+            : parser.AddInt(
+                  "checkpoint-every", 0,
+                  "write an incremental checkpoint (delta chain next to "
+                  "--save-checkpoint) every N replayed items (0 = off)");
+  int64_t* rebase_every =
+      bench ? nullptr
+            : parser.AddInt(
+                  "rebase-every", 8,
+                  "fold the delta chain into a fresh full base after this "
+                  "many deltas (0 = never rebase)");
   int64_t* repeat =
       bench ? parser.AddInt("repeat", 3, "measured repetitions") : nullptr;
   // The TCP front end is a serve-only mode (bench measures local replay).
@@ -1251,6 +1286,22 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
           << *workers << " --shards " << *shards << "\n";
       return kExitUsage;
     }
+  }
+  const int64_t ckpt_every =
+      checkpoint_every != nullptr ? *checkpoint_every : 0;
+  const int64_t ckpt_rebase = rebase_every != nullptr ? *rebase_every : 0;
+  if (ckpt_every < 0 || ckpt_rebase < 0) {
+    err << "kvec: --checkpoint-every and --rebase-every must be >= 0\n";
+    return kExitUsage;
+  }
+  if (ckpt_every > 0 && save_checkpoint->empty()) {
+    err << "kvec: --checkpoint-every needs --save-checkpoint as the base "
+           "path of the delta chain\n";
+    return kExitUsage;
+  }
+  if (ckpt_every > 0 && listen != nullptr && !listen->empty()) {
+    err << "kvec: --checkpoint-every applies to local replay, not --listen\n";
+    return kExitUsage;
   }
 
   Dataset dataset;
@@ -1341,7 +1392,7 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
   std::vector<ServeOutcome> outcomes;
   for (int run = 0; run < runs; ++run) {
     ServeOutcome outcome;
-    if (*shards > 1 || *workers > 0) {
+    if (*shards > 1 || *workers > 0 || ckpt_every > 0) {
       EventRecorder recorder;
       recorder.truth = &truth;
       ShardedStreamServerConfig sharded_config;
@@ -1357,24 +1408,60 @@ int RunServeOrBench(const std::vector<std::string>& args, std::ostream& out,
       }
       sharded_config.shard = server_config;
       ShardedStreamServer server(*model, sharded_config);
-      if (!load_checkpoint->empty() &&
-          !server.LoadCheckpoint(*load_checkpoint)) {
-        return RuntimeError(
-            "cannot restore checkpoint '" + *load_checkpoint + "'", err);
+      ShardedStreamServer::IncrementalCheckpointState inc_state;
+      if (!load_checkpoint->empty()) {
+        // With incremental checkpointing on, the load path is the head of a
+        // delta chain; loading the same path we save to resumes the chain
+        // in place instead of rebasing from scratch.
+        const bool ok =
+            ckpt_every > 0
+                ? server.RestoreFromCheckpointChain(
+                      *load_checkpoint, *load_checkpoint == *save_checkpoint
+                                            ? &inc_state
+                                            : nullptr)
+                : server.LoadCheckpoint(*load_checkpoint);
+        if (!ok) {
+          return RuntimeError(
+              "cannot restore checkpoint '" + *load_checkpoint + "'", err);
+        }
+      }
+      ReplayTick tick;
+      if (ckpt_every > 0) {
+        tick = [&server, &inc_state, &save_checkpoint, ckpt_every, ckpt_rebase,
+                next = ckpt_every](int64_t fed) mutable {
+          if (fed < next) return true;
+          while (next <= fed) next += ckpt_every;
+          return server.CheckpointIncremental(*save_checkpoint, ckpt_rebase,
+                                              &inc_state);
+        };
       }
       outcome = *workers > 0
                     ? ReplaySubmitStream(server, &recorder, stream,
-                                         static_cast<int>(*batch), *flush)
+                                         static_cast<int>(*batch), *flush,
+                                         tick)
                     : ReplayStream(server, stream, static_cast<int>(*batch),
-                                   *flush, truth);
+                                   *flush, truth, tick);
       outcome.per_shard.reserve(server.num_shards());
       for (int s = 0; s < server.num_shards(); ++s) {
         outcome.per_shard.push_back(server.shard_stats(s));
       }
-      if (!save_checkpoint->empty() &&
-          !server.SaveCheckpoint(*save_checkpoint)) {
-        return RuntimeError(
-            "cannot write checkpoint '" + *save_checkpoint + "'", err);
+      if (outcome.checkpoint_failed) {
+        return RuntimeError("cannot write incremental checkpoint chain at '" +
+                                *save_checkpoint + "'",
+                            err);
+      }
+      if (!save_checkpoint->empty()) {
+        // A final incremental write puts the flush results on the chain;
+        // a plain save would orphan the chain's fingerprints.
+        const bool saved =
+            ckpt_every > 0
+                ? server.CheckpointIncremental(*save_checkpoint, ckpt_rebase,
+                                               &inc_state)
+                : server.SaveCheckpoint(*save_checkpoint);
+        if (!saved) {
+          return RuntimeError(
+              "cannot write checkpoint '" + *save_checkpoint + "'", err);
+        }
       }
     } else {
       StreamServer server(*model, server_config);
@@ -1601,6 +1688,10 @@ const char* SectionName(int32_t id) {
       return "shard_manifest";
     case kCheckpointSectionShard:
       return "shard";
+    case kCheckpointSectionDeltaManifest:
+      return "delta_manifest";
+    case kCheckpointSectionShardDelta:
+      return "shard_delta";
     case kCheckpointSectionModelConfig:
       return "model_config";
     case kCheckpointSectionModelParams:

@@ -222,6 +222,105 @@ bool CorrelationTracker::Restore(BinaryReader* reader) {
   return true;
 }
 
+void CorrelationTracker::SnapshotDelta(
+    BinaryWriter* writer, const std::vector<int>& dirty_sorted) const {
+  writer->WriteInt32(next_index_);
+  // Only dirty keys that actually carry tracker state are serialised (a
+  // key can be dirtied by a force-close without ever reaching the
+  // tracker's maps in this window).
+  std::vector<int> present;
+  present.reserve(dirty_sorted.size());
+  for (int key : dirty_sorted) {
+    if (state_->key_items.count(key) || state_->open_sessions.count(key)) {
+      present.push_back(key);
+    }
+  }
+  writer->WriteInt32(static_cast<int32_t>(present.size()));
+  for (int key : present) {
+    writer->WriteInt32(key);
+    auto items_it = state_->key_items.find(key);
+    writer->WriteInt32(items_it != state_->key_items.end() ? 1 : 0);
+    if (items_it != state_->key_items.end()) {
+      writer->WriteInts(items_it->second.data(), items_it->second.size());
+    }
+    auto session_it = state_->open_sessions.find(key);
+    writer->WriteInt32(session_it != state_->open_sessions.end() ? 1 : 0);
+    if (session_it != state_->open_sessions.end()) {
+      const OpenSession& session = session_it->second;
+      writer->WriteInt32(session.session_value);
+      writer->WriteInt32(session.last_index);
+      writer->WriteInts(session.item_indices.data(),
+                        session.item_indices.size());
+    }
+  }
+}
+
+bool CorrelationTracker::ApplyDelta(BinaryReader* reader,
+                                    int expected_next_index) {
+  const int next_index = reader->ReadInt32();
+  if (!reader->ok() || next_index < next_index_ ||
+      (expected_next_index >= 0 && next_index != expected_next_index)) {
+    return false;
+  }
+  const int32_t num_keys = reader->ReadInt32();
+  if (!reader->ok() || num_keys < 0 ||
+      static_cast<size_t>(num_keys) > reader->remaining() / 8) {
+    return false;
+  }
+  int prev_key = -1;
+  bool first = true;
+  for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    if (!reader->ok() || (!first && key <= prev_key)) return false;
+    first = false;
+    prev_key = key;
+
+    const bool has_items = reader->ReadInt32() != 0;
+    if (has_items) {
+      std::vector<int> items = reader->ReadIntVector();
+      if (!reader->ok()) return false;
+      for (int index : items) {
+        if (index < 0 || index >= next_index) return false;
+      }
+      auto& slot = state_->key_items[key];
+      slot.assign(items.begin(), items.end());
+    }
+
+    const bool has_session = reader->ReadInt32() != 0;
+    if (has_session) {
+      const int session_value = reader->ReadInt32();
+      const int last_index = reader->ReadInt32();
+      std::vector<int> item_indices = reader->ReadIntVector();
+      if (!reader->ok()) return false;
+      if (last_index < -1 || last_index >= next_index) return false;
+      for (int index : item_indices) {
+        if (index < 0 || index >= next_index) return false;
+      }
+      // Reposition in the inverted index: drop the key's old recency entry
+      // (if the base had one), then insert the new one.
+      OpenSession& session = state_->open_sessions[key];
+      if (session.last_index >= 0) {
+        auto old_bucket = state_->by_value.find(session.session_value);
+        if (old_bucket != state_->by_value.end()) {
+          old_bucket->second.erase(session.last_index);
+          if (old_bucket->second.empty()) state_->by_value.erase(old_bucket);
+        }
+      }
+      session.session_value = session_value;
+      session.last_index = last_index;
+      session.item_indices.assign(item_indices.begin(), item_indices.end());
+      if (last_index >= 0) {
+        if (!state_->by_value[session_value].emplace(last_index, key).second) {
+          return false;  // two sessions cannot share a stream position
+        }
+      }
+    }
+  }
+  if (!reader->ok()) return false;
+  next_index_ = next_index;
+  return true;
+}
+
 EpisodeMask BuildEpisodeMask(const TangledSequence& episode,
                              const CorrelationOptions& options) {
   const int total = static_cast<int>(episode.items.size());

@@ -77,6 +77,22 @@ class CorrelationTracker {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader);
 
+  // Delta checkpointing (docs/SERVING.md "Incremental checkpoints").
+  // Per-key state only ever changes when that key's item is observed, so a
+  // delta carries the *current* state of exactly the keys in
+  // `dirty_sorted` (strictly ascending): the item-index list and the open
+  // session, each behind a presence flag. ApplyDelta upserts those keys
+  // into a tracker already holding the base state — replacing their lists
+  // and repositioning their sessions in the inverted index — and adopts
+  // the delta's stream clock. `expected_next_index`, when non-negative,
+  // must match the delta's clock (the caller cross-checks against the
+  // engine's item count). ApplyDelta fails closed on corrupt bytes but may
+  // leave *this partially updated — callers stage into a scratch tracker
+  // (the chain loader's staged-servers pattern) and discard on failure.
+  void SnapshotDelta(BinaryWriter* writer,
+                     const std::vector<int>& dirty_sorted) const;
+  bool ApplyDelta(BinaryReader* reader, int expected_next_index = -1);
+
   // Rebuilds every container into `memory` and adopts it for all future
   // allocations. Observable state is unchanged (the canonical key-sorted
   // Snapshot cannot tell the difference); the point is that the old

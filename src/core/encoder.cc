@@ -268,6 +268,71 @@ bool IncrementalEncoder::Restore(BinaryReader* reader, int expected_items) {
   return true;
 }
 
+void IncrementalEncoder::SnapshotTail(BinaryWriter* writer,
+                                      int base_items) const {
+  KVEC_DCHECK(base_items >= 0 && base_items <= num_items_);
+  const int num_blocks = static_cast<int>(encoder_.blocks().size());
+  writer->WriteInt32(dim_);
+  writer->WriteInt32(head_dim_);
+  writer->WriteInt32(num_heads_);
+  writer->WriteInt32(num_blocks);
+  writer->WriteInt32(base_items);
+  writer->WriteInt32(num_items_);
+  const size_t skip = static_cast<size_t>(base_items) * head_dim_;
+  const size_t tail = static_cast<size_t>(num_items_ - base_items) * head_dim_;
+  const size_t block_stride = 2 * static_cast<size_t>(capacity_) * dim_;
+  for (int b = 0; b < num_blocks; ++b) {
+    for (int h = 0; h < num_heads_; ++h) {
+      const float* keys = arena_.data() + b * block_stride +
+                          static_cast<size_t>(h) * capacity_ * head_dim_;
+      const float* values = keys + static_cast<size_t>(capacity_) * dim_;
+      writer->WriteFloats(keys + skip, tail);
+      writer->WriteFloats(values + skip, tail);
+    }
+  }
+}
+
+bool IncrementalEncoder::RestoreTail(BinaryReader* reader,
+                                     int expected_items) {
+  const int num_blocks = static_cast<int>(encoder_.blocks().size());
+  const int dim = reader->ReadInt32();
+  const int head_dim = reader->ReadInt32();
+  const int num_heads = reader->ReadInt32();
+  const int blocks = reader->ReadInt32();
+  const int base_items = reader->ReadInt32();
+  const int num_items = reader->ReadInt32();
+  if (!reader->ok() || dim != dim_ || head_dim != head_dim_ ||
+      num_heads != num_heads_ || blocks != num_blocks ||
+      base_items != num_items_ || num_items < base_items ||
+      (expected_items >= 0 && num_items != expected_items)) {
+    return false;
+  }
+  const size_t tail = static_cast<size_t>(num_items - base_items) * head_dim_;
+  std::vector<std::vector<float>> panels;
+  panels.reserve(static_cast<size_t>(num_blocks) * num_heads_ * 2);
+  for (int i = 0; i < num_blocks * num_heads_ * 2; ++i) {
+    panels.push_back(reader->ReadFloatVector());
+    if (!reader->ok() || panels.back().size() != tail) return false;
+  }
+
+  if (num_items > 0) EnsureCapacity(num_items);
+  const size_t skip = static_cast<size_t>(base_items) * head_dim_;
+  size_t next = 0;
+  for (int b = 0; b < num_blocks; ++b) {
+    for (int h = 0; h < num_heads_; ++h) {
+      if (tail > 0) {
+        std::memcpy(KeyPanel(b, h) + skip, panels[next].data(),
+                    tail * sizeof(float));
+        std::memcpy(ValuePanel(b, h) + skip, panels[next + 1].data(),
+                    tail * sizeof(float));
+      }
+      next += 2;
+    }
+  }
+  num_items_ = num_items;
+  return true;
+}
+
 std::vector<float> IncrementalEncoder::AppendItem(
     const Item& item, int position_in_key, const std::vector<int>& visible) {
   const int t = num_items_;

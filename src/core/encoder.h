@@ -111,6 +111,19 @@ class IncrementalEncoder {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader, int expected_items = -1);
 
+  // Delta checkpointing (docs/SERVING.md "Incremental checkpoints"). The
+  // K/V cache is append-only within a window — row t is written once when
+  // item t arrives and never rewritten — so the rows in [base_items,
+  // num_items()) are exactly what changed since a snapshot taken at
+  // base_items. SnapshotTail serialises only that suffix (plus the
+  // geometry header, so corrupted deltas still fail closed on mismatch).
+  // RestoreTail requires the receiver to sit exactly at base_items and,
+  // when `expected_items` is non-negative, the restored count to match it;
+  // panels are staged before the arena is touched, same contract as
+  // Restore.
+  void SnapshotTail(BinaryWriter* writer, int base_items) const;
+  bool RestoreTail(BinaryReader* reader, int expected_items = -1);
+
   // Repacks the K/V arena into the smallest geometric capacity that holds
   // the live items, returning the slack to BufferPool (shard compaction).
   // A no-op when the arena is already tight.

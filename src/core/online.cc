@@ -167,6 +167,56 @@ bool ReadStateTensor(BinaryReader* reader, int expected_cols, Tensor* out) {
 
 }  // namespace
 
+void OnlineClassifier::WriteKeyState(BinaryWriter* writer, int key,
+                                     const KeyState& state) const {
+  writer->WriteInt32(key);
+  writer->WriteInt32(state.halted ? 1 : 0);
+  writer->WriteInt32(state.observed);
+  writer->WriteInt32(state.position_in_key);
+  writer->WriteInt32(state.predicted);
+  writer->WriteInt32(state.state.count);
+  writer->WriteInt32(state.state.hidden.defined() ? 1 : 0);
+  if (state.state.hidden.defined()) {
+    WriteStateTensor(writer, state.state.hidden);
+  }
+  writer->WriteInt32(state.state.cell.defined() ? 1 : 0);
+  if (state.state.cell.defined()) {
+    WriteStateTensor(writer, state.state.cell);
+  }
+}
+
+bool OnlineClassifier::ReadKeyState(BinaryReader* reader, int* key,
+                                    KeyState* state) const {
+  const KvecConfig& config = model_.config();
+  const int hidden_dim = model_.fusion().output_dim();
+  const int cell_dim = config.fusion == KvecConfig::FusionKind::kLstm
+                           ? config.state_dim
+                           : config.embed_dim;
+  *key = reader->ReadInt32();
+  state->halted = reader->ReadInt32() != 0;
+  state->observed = reader->ReadInt32();
+  state->position_in_key = reader->ReadInt32();
+  state->predicted = reader->ReadInt32();
+  state->state.count = reader->ReadInt32();
+  if (!reader->ok() || state->observed < 0 ||
+      state->position_in_key < state->observed || state->state.count < 0 ||
+      state->predicted < -1 || state->predicted >= config.spec.num_classes) {
+    return false;
+  }
+  if (reader->ReadInt32() != 0) {
+    if (!ReadStateTensor(reader, hidden_dim, &state->state.hidden)) {
+      return false;
+    }
+  }
+  if (reader->ReadInt32() != 0) {
+    if (!ReadStateTensor(reader, cell_dim, &state->state.cell)) return false;
+  }
+  // ForceClassify and Step both dereference the hidden state of any key
+  // with observed items; a checkpoint without one is corrupt.
+  if (state->observed > 0 && !state->state.hidden.defined()) return false;
+  return true;
+}
+
 void OnlineClassifier::Snapshot(BinaryWriter* writer) const {
   writer->WriteInt32(num_items_);
   tracker_.Snapshot(writer);
@@ -177,21 +227,7 @@ void OnlineClassifier::Snapshot(BinaryWriter* writer) const {
   std::sort(sorted_keys.begin(), sorted_keys.end());
   writer->WriteInt32(static_cast<int32_t>(sorted_keys.size()));
   for (int key : sorted_keys) {
-    const KeyState& state = keys_->at(key);
-    writer->WriteInt32(key);
-    writer->WriteInt32(state.halted ? 1 : 0);
-    writer->WriteInt32(state.observed);
-    writer->WriteInt32(state.position_in_key);
-    writer->WriteInt32(state.predicted);
-    writer->WriteInt32(state.state.count);
-    writer->WriteInt32(state.state.hidden.defined() ? 1 : 0);
-    if (state.state.hidden.defined()) {
-      WriteStateTensor(writer, state.state.hidden);
-    }
-    writer->WriteInt32(state.state.cell.defined() ? 1 : 0);
-    if (state.state.cell.defined()) {
-      WriteStateTensor(writer, state.state.cell);
-    }
+    WriteKeyState(writer, key, keys_->at(key));
   }
 
   // The encoder arena goes last so Restore can stage everything else in
@@ -201,10 +237,6 @@ void OnlineClassifier::Snapshot(BinaryWriter* writer) const {
 
 bool OnlineClassifier::Restore(BinaryReader* reader) {
   const KvecConfig& config = model_.config();
-  const int hidden_dim = model_.fusion().output_dim();
-  const int cell_dim = config.fusion == KvecConfig::FusionKind::kLstm
-                           ? config.state_dim
-                           : config.embed_dim;
 
   const int num_items = reader->ReadInt32();
   if (!reader->ok() || num_items < 0) return false;
@@ -222,29 +254,9 @@ bool OnlineClassifier::Restore(BinaryReader* reader) {
   }
   keys->reserve(num_keys);
   for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
-    const int key = reader->ReadInt32();
+    int key = 0;
     KeyState state;
-    state.halted = reader->ReadInt32() != 0;
-    state.observed = reader->ReadInt32();
-    state.position_in_key = reader->ReadInt32();
-    state.predicted = reader->ReadInt32();
-    state.state.count = reader->ReadInt32();
-    if (!reader->ok() || state.observed < 0 ||
-        state.position_in_key < state.observed || state.state.count < 0 ||
-        state.predicted < -1 || state.predicted >= config.spec.num_classes) {
-      return false;
-    }
-    if (reader->ReadInt32() != 0) {
-      if (!ReadStateTensor(reader, hidden_dim, &state.state.hidden)) {
-        return false;
-      }
-    }
-    if (reader->ReadInt32() != 0) {
-      if (!ReadStateTensor(reader, cell_dim, &state.state.cell)) return false;
-    }
-    // ForceClassify and Step both dereference the hidden state of any key
-    // with observed items; a checkpoint without one is corrupt.
-    if (state.observed > 0 && !state.state.hidden.defined()) return false;
+    if (!ReadKeyState(reader, &key, &state)) return false;
     if (!keys->emplace(key, std::move(state)).second) return false;
   }
   if (!reader->ok()) return false;
@@ -258,6 +270,61 @@ bool OnlineClassifier::Restore(BinaryReader* reader) {
   num_items_ = num_items;
   tracker_ = std::move(tracker);
   keys_ = std::move(keys);
+  return true;
+}
+
+void OnlineClassifier::SnapshotDelta(BinaryWriter* writer,
+                                     const std::vector<int>& dirty_sorted,
+                                     int base_items) const {
+  writer->WriteInt32(num_items_);
+  writer->WriteInt32(base_items);
+  tracker_.SnapshotDelta(writer, dirty_sorted);
+
+  // Dirty keys that reached the engine this window (a key can be dirtied
+  // purely in the serving index — e.g. evicted before its first item of a
+  // fresh window — without a KeyState).
+  std::vector<int> present;
+  present.reserve(dirty_sorted.size());
+  for (int key : dirty_sorted) {
+    if (keys_->count(key)) present.push_back(key);
+  }
+  writer->WriteInt32(static_cast<int32_t>(present.size()));
+  for (int key : present) {
+    WriteKeyState(writer, key, keys_->at(key));
+  }
+
+  incremental_.SnapshotTail(writer, base_items);
+}
+
+bool OnlineClassifier::ApplyDelta(BinaryReader* reader) {
+  const int num_items = reader->ReadInt32();
+  const int base_items = reader->ReadInt32();
+  // The receiver must hold exactly the base the delta was cut against.
+  if (!reader->ok() || num_items < base_items || base_items != num_items_) {
+    return false;
+  }
+  if (!tracker_.ApplyDelta(reader, num_items)) return false;
+
+  const int32_t num_keys = reader->ReadInt32();
+  if (!reader->ok() || num_keys < 0 ||
+      static_cast<size_t>(num_keys) > reader->remaining() / 8) {
+    return false;
+  }
+  int prev_key = -1;
+  bool first = true;
+  for (int32_t i = 0; i < num_keys && reader->ok(); ++i) {
+    int key = 0;
+    KeyState state;
+    if (!ReadKeyState(reader, &key, &state)) return false;
+    if (!first && key <= prev_key) return false;  // canonical ascending
+    first = false;
+    prev_key = key;
+    (*keys_)[key] = std::move(state);
+  }
+  if (!reader->ok()) return false;
+
+  if (!incremental_.RestoreTail(reader, num_items)) return false;
+  num_items_ = num_items;
   return true;
 }
 

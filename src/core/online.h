@@ -107,6 +107,21 @@ class OnlineClassifier {
   void Snapshot(BinaryWriter* writer) const;
   bool Restore(BinaryReader* reader);
 
+  // Delta checkpointing (docs/SERVING.md "Incremental checkpoints"): the
+  // engine-side state of exactly the keys in `dirty_sorted` (strictly
+  // ascending stream keys mutated since the base snapshot), the correlation
+  // tracker's delta for the same keys, and the encoder's appended K/V rows
+  // since `base_items`. The caller passes base_items = 0 after a window
+  // rotation (the delta then carries the whole young window). ApplyDelta
+  // expects *this to hold exactly the base state (its item clock must equal
+  // the delta's base_items echo) and upserts on top; it fails closed on
+  // corrupt bytes but may leave *this partially updated — callers stage
+  // into a scratch engine and discard on failure, exactly like the chain
+  // loader's staged-servers pattern.
+  void SnapshotDelta(BinaryWriter* writer, const std::vector<int>& dirty_sorted,
+                     int base_items) const;
+  bool ApplyDelta(BinaryReader* reader);
+
   // Rebuilds the per-key map and tracker containers into `memory` (leaving
   // the old resource empty) and tight-repacks the encoder's K/V arena.
   // Observable behaviour is unchanged — shard compaction's correctness
@@ -134,6 +149,12 @@ class OnlineClassifier {
   // a fresh pool (Repool) means reconstructing it; owning it through a
   // pointer makes that a swap.
   using KeyStateMap = std::pmr::unordered_map<int, KeyState>;
+
+  // One per-key record of the snapshot byte stream (shared by the full and
+  // delta paths so the two formats cannot drift).
+  void WriteKeyState(BinaryWriter* writer, int key,
+                     const KeyState& state) const;
+  bool ReadKeyState(BinaryReader* reader, int* key, KeyState* state) const;
 
   const KvecModel& model_;
   std::pmr::memory_resource* memory_;

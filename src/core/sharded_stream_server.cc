@@ -1,6 +1,8 @@
 #include "core/sharded_stream_server.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "util/check.h"
@@ -474,7 +476,12 @@ Checkpoint ShardedStreamServer::BuildCheckpoint() const {
   return checkpoint;
 }
 
-bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
+bool ShardedStreamServer::StageFromCheckpoint(
+    const Checkpoint& checkpoint,
+    std::vector<std::unique_ptr<StreamServer>>* staged) {
+  // Delta containers (version 2) never reach here; the chain loader
+  // decodes them itself. A full restore must refuse them outright.
+  if (checkpoint.version != kCheckpointFormatVersion) return false;
   const CheckpointSection* manifest =
       checkpoint.Find(kCheckpointSectionShardManifest);
   if (manifest == nullptr) return false;
@@ -487,37 +494,48 @@ bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
 
   // Stage every shard before swapping any in. Staging touches no live
   // shard state, so it runs on the calling thread in both modes.
-  std::vector<std::unique_ptr<StreamServer>> staged(shards_.size());
+  staged->clear();
+  staged->resize(shards_.size());
   for (const CheckpointSection& section : checkpoint.sections) {
     if (section.id != kCheckpointSectionShard) continue;
     BinaryReader reader(section.payload);
     const int32_t shard = reader.ReadInt32();
     if (!reader.ok() || shard < 0 || shard >= num_shards ||
-        staged[shard] != nullptr) {
+        (*staged)[shard] != nullptr) {
       return false;
     }
-    staged[shard] = std::make_unique<StreamServer>(model_, config_.shard);
-    if (!staged[shard]->Restore(&reader)) return false;
+    (*staged)[shard] = std::make_unique<StreamServer>(model_, config_.shard);
+    if (!(*staged)[shard]->Restore(&reader)) return false;
   }
-  for (const auto& server : staged) {
+  for (const auto& server : *staged) {
     if (server == nullptr) return false;  // a shard section is missing
   }
+  return true;
+}
 
+void ShardedStreamServer::CommitStaged(
+    std::vector<std::unique_ptr<StreamServer>>* staged) {
   // All-or-nothing commit. Re-baseline the transport counters to the
   // restored items_processed so the overload invariant (submitted ==
   // processed + shed) holds for the life of the restored server.
   std::vector<int64_t> processed(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    processed[s] = staged[s]->stats().items_processed;
+    processed[s] = (*staged)[s]->stats().items_processed;
   }
-  RunOnAllShards([this, &staged, &processed](int s, StreamServer&) {
+  RunOnAllShards([this, staged, &processed](int s, StreamServer&) {
     // InstallServer is ownership-transfer point 2: this callback runs
     // under the shard mutex (sync) or on the owning worker (async).
-    InstallServer(*shards_[s], std::move(staged[s]));
+    InstallServer(*shards_[s], std::move((*staged)[s]));
     shards_[s]->items_submitted.store(processed[s], std::memory_order_relaxed);
     shards_[s]->batches_shed.store(0, std::memory_order_relaxed);
     shards_[s]->items_shed.store(0, std::memory_order_relaxed);
   });
+}
+
+bool ShardedStreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
+  std::vector<std::unique_ptr<StreamServer>> staged;
+  if (!StageFromCheckpoint(checkpoint, &staged)) return false;
+  CommitStaged(&staged);
   return true;
 }
 
@@ -539,6 +557,188 @@ bool ShardedStreamServer::LoadCheckpoint(const std::string& path) {
   Checkpoint checkpoint;
   return CheckpointLoad(path, &checkpoint) &&
          RestoreFromCheckpoint(checkpoint);
+}
+
+std::string ShardedStreamServer::DeltaPath(const std::string& base_path,
+                                           int64_t seq) {
+  return base_path + ".delta." + std::to_string(seq);
+}
+
+bool ShardedStreamServer::CheckpointIncremental(
+    const std::string& base_path, int rebase_every,
+    IncrementalCheckpointState* state) {
+  const int num_shards = static_cast<int>(shards_.size());
+  const bool rebase =
+      state->base_fingerprint == 0 ||
+      (rebase_every > 0 && state->deltas_written >= rebase_every);
+
+  if (rebase) {
+    // Full base. Snapshot and baseline-staging happen in ONE control task
+    // per shard, so the staged dirty-clear is atomic with the bytes.
+    Checkpoint checkpoint;
+    {
+      BinaryWriter manifest;
+      manifest.WriteInt32(num_shards);
+      checkpoint.sections.push_back(
+          {kCheckpointSectionShardManifest, manifest.buffer()});
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      BinaryWriter writer;
+      writer.WriteInt32(s);
+      RunOnShard(s, [&writer](StreamServer& server) {
+        server.Snapshot(&writer);
+        server.StageDeltaBaseline();
+      });
+      checkpoint.sections.push_back(
+          {kCheckpointSectionShard, writer.buffer()});
+    }
+    // Unlink the stale chain newest-first BEFORE replacing the base:
+    // every crash point along the way leaves a loadable chain (old base
+    // plus a consecutive delta prefix, then the old base alone, then —
+    // after the atomic rename — the new base alone).
+    for (int64_t seq = state->deltas_written; seq >= 1; --seq) {
+      std::remove(DeltaPath(base_path, seq).c_str());
+    }
+    const std::string bytes = CheckpointEncode(checkpoint);
+    // A failed base write leaves the old base on disk (loadable) but the
+    // old deltas already unlinked — zeroing the fingerprint forces the
+    // next call back into this branch instead of appending deltas to a
+    // chain whose middle links are gone. The dirty baseline stays
+    // staged-only, so no churn is lost either way.
+    if (KVEC_FAULT_POINT("checkpoint.save") ||
+        !AtomicWriteFile(base_path, bytes)) {
+      state->base_fingerprint = 0;
+      return false;
+    }
+    state->base_fingerprint = CheckpointFingerprint(bytes);
+    state->prev_fingerprint = state->base_fingerprint;
+    state->deltas_written = 0;
+    RunOnAllShards(
+        [](int, StreamServer& server) { server.CommitDeltaBaseline(); });
+    return true;
+  }
+
+  // Delta link. SnapshotDelta stages each shard's dirty-clear itself.
+  Checkpoint delta;
+  delta.version = kCheckpointDeltaFormatVersion;
+  const int64_t seq = state->deltas_written + 1;
+  {
+    BinaryWriter manifest;
+    manifest.WriteInt64(static_cast<int64_t>(state->base_fingerprint));
+    manifest.WriteInt64(static_cast<int64_t>(state->prev_fingerprint));
+    manifest.WriteInt64(seq);
+    manifest.WriteInt32(num_shards);
+    delta.sections.push_back(
+        {kCheckpointSectionDeltaManifest, manifest.buffer()});
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    BinaryWriter writer;
+    writer.WriteInt32(s);
+    RunOnShard(s, [&writer](StreamServer& server) {
+      server.SnapshotDelta(&writer);
+    });
+    delta.sections.push_back({kCheckpointSectionShardDelta, writer.buffer()});
+  }
+  const std::string bytes = CheckpointEncode(delta);
+  // Failed delta write: no baseline commit, so every dirty bit survives
+  // and the next delta re-carries this one's churn; the chain on disk is
+  // untouched and stays loadable. Tests force this path here.
+  if (KVEC_FAULT_POINT("checkpoint.delta")) return false;
+  if (!AtomicWriteFile(DeltaPath(base_path, seq), bytes)) return false;
+  state->prev_fingerprint = CheckpointFingerprint(bytes);
+  state->deltas_written = seq;
+  RunOnAllShards(
+      [](int, StreamServer& server) { server.CommitDeltaBaseline(); });
+  return true;
+}
+
+namespace {
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+bool ShardedStreamServer::RestoreFromCheckpointChain(
+    const std::string& base_path, IncrementalCheckpointState* state) {
+  std::string base_bytes;
+  if (!ReadFileBytes(base_path, &base_bytes)) return false;
+  Checkpoint base;
+  if (!CheckpointDecode(base_bytes, &base)) return false;
+  // The chain root must be a full checkpoint; a delta file at the base
+  // path is a mix-up, not a base.
+  if (base.version != kCheckpointFormatVersion) return false;
+  std::vector<std::unique_ptr<StreamServer>> staged;
+  if (!StageFromCheckpoint(base, &staged)) return false;
+
+  const uint64_t base_fp = CheckpointFingerprint(base_bytes);
+  uint64_t prev_fp = base_fp;
+  int64_t seq = 1;
+  for (;; ++seq) {
+    std::string delta_bytes;
+    if (!ReadFileBytes(DeltaPath(base_path, seq), &delta_bytes)) {
+      break;  // end of chain
+    }
+    Checkpoint delta;
+    if (!CheckpointDecode(delta_bytes, &delta)) return false;
+    if (delta.version != kCheckpointDeltaFormatVersion) return false;
+    const CheckpointSection* manifest =
+        delta.Find(kCheckpointSectionDeltaManifest);
+    if (manifest == nullptr) return false;
+    BinaryReader manifest_reader(manifest->payload);
+    const uint64_t stored_base =
+        static_cast<uint64_t>(manifest_reader.ReadInt64());
+    const uint64_t stored_prev =
+        static_cast<uint64_t>(manifest_reader.ReadInt64());
+    const int64_t stored_seq = manifest_reader.ReadInt64();
+    const int32_t num_shards = manifest_reader.ReadInt32();
+    // Linkage: cut against THIS base, directly after THIS link, at THIS
+    // position. Anything else — a delta from another chain, a reordered
+    // or re-used link — fails the whole load.
+    if (!manifest_reader.ok() || stored_base != base_fp ||
+        stored_prev != prev_fp || stored_seq != seq ||
+        num_shards != static_cast<int32_t>(shards_.size())) {
+      return false;
+    }
+    std::vector<char> applied(shards_.size(), 0);
+    for (const CheckpointSection& section : delta.sections) {
+      if (section.id != kCheckpointSectionShardDelta) continue;
+      BinaryReader reader(section.payload);
+      const int32_t shard = reader.ReadInt32();
+      if (!reader.ok() || shard < 0 || shard >= num_shards ||
+          applied[shard] != 0) {
+        return false;
+      }
+      if (!staged[shard]->ApplyDelta(&reader)) return false;
+      applied[shard] = 1;
+    }
+    for (char a : applied) {
+      if (a == 0) return false;  // a shard's delta section is missing
+    }
+    prev_fp = CheckpointFingerprint(delta_bytes);
+  }
+
+  CommitStaged(&staged);
+  if (state != nullptr) {
+    // The caller intends to keep appending to this chain: re-arm dirty
+    // tracking at the restored state (stage+commit in one control task
+    // per shard = empty dirty set, baselines = now). Without `state` the
+    // load is a plain warm restart and tracking stays disarmed — a dirty
+    // map on a server that never checkpoints again would only grow.
+    RunOnAllShards([](int, StreamServer& server) {
+      server.StageDeltaBaseline();
+      server.CommitDeltaBaseline();
+    });
+    state->base_fingerprint = base_fp;
+    state->prev_fingerprint = prev_fp;
+    state->deltas_written = seq - 1;
+  }
+  return true;
 }
 
 int ShardedStreamServer::open_keys() const {

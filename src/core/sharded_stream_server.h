@@ -183,6 +183,48 @@ class ShardedStreamServer {
   bool SaveCheckpoint(const std::string& path) const;
   bool LoadCheckpoint(const std::string& path);
 
+  // ---- Incremental checkpoints: delta chains (docs/SERVING.md). ----
+  //
+  // On-disk layout: a full version-1 base at `base_path` plus consecutive
+  // version-2 delta files at `base_path + ".delta.1"`, ".delta.2", ...
+  // Each delta's manifest stores the base's fingerprint, the previous
+  // link's fingerprint, and its own sequence number, so the loader can
+  // reject a delta cut against a different base, a reordered chain, or a
+  // gap — any non-linking file fails the whole load, target untouched.
+  struct IncrementalCheckpointState {
+    int64_t deltas_written = 0;     // links currently after the base
+    uint64_t base_fingerprint = 0;  // 0 = no base written/loaded yet
+    uint64_t prev_fingerprint = 0;  // newest link (the base, initially)
+  };
+
+  // The on-disk name of chain link `seq` (1-based) for `base_path`.
+  static std::string DeltaPath(const std::string& base_path, int64_t seq);
+
+  // Appends one link to the chain at `base_path`: a delta carrying only
+  // the keys mutated since the previous link, or — when no base exists
+  // yet, or `rebase_every` > 0 deltas have accumulated — a fresh full
+  // base (the rebase bounds both restore time and on-disk chain length).
+  // Shards are serialized ONE AT A TIME through the worker seam, so the
+  // rest of the fleet keeps serving during a snapshot; dirty bits are
+  // cleared only after the bytes are durably on disk (a failed write —
+  // see the `checkpoint.delta` fault point — leaves the server serving,
+  // every dirty bit intact, and the previous chain loadable). A rebase
+  // unlinks old deltas newest-first before atomically replacing the base,
+  // so every crash point leaves a loadable chain on disk.
+  bool CheckpointIncremental(const std::string& base_path, int rebase_every,
+                             IncrementalCheckpointState* state);
+
+  // Restores base + every consecutive delta, staged per shard and
+  // committed all-or-nothing (same discipline as RestoreCheckpoint); any
+  // undecodable or non-linking delta fails the load with the server
+  // untouched. Passing `state` declares the intent to keep appending to
+  // the chain: dirty tracking is re-armed at the restored state and
+  // `state` is filled; a null `state` is a plain warm restart (tracking
+  // stays disarmed so the dirty map cannot grow on a server that never
+  // checkpoints again).
+  bool RestoreFromCheckpointChain(const std::string& base_path,
+                                  IncrementalCheckpointState* state = nullptr);
+
  private:
   // One queue entry: an item batch (fn empty) or a control task.
   struct ShardTask {
@@ -262,6 +304,13 @@ class ShardedStreamServer {
   // Shared bodies of the four checkpoint entry points.
   Checkpoint BuildCheckpoint() const;
   bool RestoreFromCheckpoint(const Checkpoint& checkpoint);
+  // Restore split in two so the chain loader can apply deltas between the
+  // staging and the commit: Stage parses a full checkpoint into fresh
+  // per-shard servers (no live state touched), Commit swaps them all in
+  // and re-baselines the transport counters.
+  bool StageFromCheckpoint(const Checkpoint& checkpoint,
+                           std::vector<std::unique_ptr<StreamServer>>* staged);
+  void CommitStaged(std::vector<std::unique_ptr<StreamServer>>* staged);
 
   const KvecModel& model_;
   ShardedStreamServerConfig config_;

@@ -85,6 +85,10 @@ void StreamServer::ForceClose(int key, StreamEvent::Cause cause,
                               std::vector<StreamEvent>* events) {
   auto it = index_->open.find(key);
   if (it == index_->open.end()) return;
+  // ForceClassify mutates the key's engine state (halted/predicted) and
+  // the close drops it from the serving index — both must reach the next
+  // delta (as an engine upsert and a tombstone respectively).
+  MarkDirty(key);
   StreamEvent event;
   event.key = key;
   event.cause = cause;
@@ -123,6 +127,9 @@ void StreamServer::Bookkeep(const Item& item, const OnlineDecision& decision,
   ++position_;
   ++window_items_;
   ++stats_.items_processed;
+  // Every observed item mutates its key's engine state (tracker lists,
+  // per-key position, fusion step) even when the key is already halted.
+  MarkDirty(item.key);
 
   if (decision.already_halted) {
     // The engine still tracks the item (its visibility matters for other
@@ -375,6 +382,199 @@ bool StreamServer::Restore(BinaryReader* reader) {
   index_ = std::move(index);
   engine_ = std::move(engine);
   items_since_compaction_check_ = 0;
+  // A full restore invalidates any delta baseline: the restored state is a
+  // new world. The chain loader re-arms tracking after its commit.
+  dirty_tracking_ = false;
+  dirty_keys_.clear();
+  pending_baseline_ = false;
+  return true;
+}
+
+void StreamServer::StageDeltaBaseline() {
+  pending_epoch_ = dirty_epoch_++;
+  pending_engine_items_ = engine_->num_items_observed();
+  pending_windows_started_ = stats_.windows_started;
+  pending_baseline_ = true;
+}
+
+void StreamServer::CommitDeltaBaseline() {
+  if (!pending_baseline_) return;
+  for (auto it = dirty_keys_.begin(); it != dirty_keys_.end();) {
+    // Keys re-dirtied after the staged snapshot carry a later epoch and
+    // must survive into the next delta.
+    if (it->second <= pending_epoch_) {
+      it = dirty_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  base_engine_items_ = pending_engine_items_;
+  base_windows_started_ = pending_windows_started_;
+  pending_baseline_ = false;
+  dirty_tracking_ = true;
+}
+
+void StreamServer::SnapshotDelta(BinaryWriter* writer) {
+  StageDeltaBaseline();
+
+  std::vector<int> dirty_sorted;
+  dirty_sorted.reserve(dirty_keys_.size());
+  for (const auto& [key, epoch] : dirty_keys_) dirty_sorted.push_back(key);
+  std::sort(dirty_sorted.begin(), dirty_sorted.end());
+
+  // Config echo: a delta must never apply to a server with different
+  // serving semantics (same four knobs the full snapshot carries).
+  writer->WriteInt32(config_.max_window_items);
+  writer->WriteInt32(config_.idle_timeout);
+  writer->WriteInt32(config_.idle_check_interval);
+  writer->WriteInt32(config_.max_open_keys);
+
+  writer->WriteInt64(position_);
+  writer->WriteInt32(window_items_);
+
+  // Stats travel whole (they are a handful of scalars; the churn-
+  // proportional savings are in the per-key payloads below).
+  writer->WriteInt64(stats_.items_processed);
+  writer->WriteInt64(stats_.sequences_classified);
+  writer->WriteInt64(stats_.policy_halts);
+  writer->WriteInt64(stats_.idle_timeouts);
+  writer->WriteInt64(stats_.capacity_evictions);
+  writer->WriteInt64(stats_.rotation_classifications);
+  writer->WriteInt64(stats_.flush_classifications);
+  writer->WriteInt32(stats_.windows_started);
+  writer->WriteInt32(static_cast<int32_t>(stats_.class_counts.size()));
+  for (int64_t count : stats_.class_counts) writer->WriteInt64(count);
+
+  // When the engine was rebuilt since the base (window rotation), the
+  // receiver rebuilds a fresh engine too and the encoder tail starts at 0.
+  const bool engine_reset = stats_.windows_started != base_windows_started_;
+  writer->WriteInt32(engine_reset ? 1 : 0);
+  const int base_items = engine_reset ? 0 : base_engine_items_;
+
+  // Serving-index upserts: dirty keys still open (canonical ascending).
+  std::vector<int> open_dirty;
+  std::vector<int> tombstones;
+  for (int key : dirty_sorted) {
+    if (index_->open.count(key)) {
+      open_dirty.push_back(key);
+    } else {
+      tombstones.push_back(key);
+    }
+  }
+  writer->WriteInt32(static_cast<int32_t>(open_dirty.size()));
+  for (int key : open_dirty) {
+    writer->WriteInt32(key);
+    writer->WriteInt64(index_->open.at(key).last_seen);
+  }
+  // Tombstones: dirty keys no longer open (closed, evicted, or rotated
+  // away since the base).
+  writer->WriteInt32(static_cast<int32_t>(tombstones.size()));
+  for (int key : tombstones) writer->WriteInt32(key);
+
+  engine_->SnapshotDelta(writer, dirty_sorted, base_items);
+}
+
+bool StreamServer::ApplyDelta(BinaryReader* reader) {
+  const int max_window_items = reader->ReadInt32();
+  const int idle_timeout = reader->ReadInt32();
+  const int idle_check_interval = reader->ReadInt32();
+  const int max_open_keys = reader->ReadInt32();
+  if (!reader->ok() || max_window_items != config_.max_window_items ||
+      idle_timeout != config_.idle_timeout ||
+      idle_check_interval != config_.idle_check_interval ||
+      max_open_keys != config_.max_open_keys) {
+    return false;
+  }
+
+  const int64_t position = reader->ReadInt64();
+  const int window_items = reader->ReadInt32();
+  if (!reader->ok() || position < position_ || window_items < 0 ||
+      window_items > config_.max_window_items) {
+    return false;
+  }
+
+  StreamServerStats stats;
+  stats.items_processed = reader->ReadInt64();
+  stats.sequences_classified = reader->ReadInt64();
+  stats.policy_halts = reader->ReadInt64();
+  stats.idle_timeouts = reader->ReadInt64();
+  stats.capacity_evictions = reader->ReadInt64();
+  stats.rotation_classifications = reader->ReadInt64();
+  stats.flush_classifications = reader->ReadInt64();
+  stats.windows_started = reader->ReadInt32();
+  const int32_t num_classes = reader->ReadInt32();
+  if (!reader->ok() || num_classes != model_.config().spec.num_classes) {
+    return false;
+  }
+  stats.class_counts.resize(num_classes);
+  for (int32_t c = 0; c < num_classes; ++c) {
+    stats.class_counts[c] = reader->ReadInt64();
+  }
+  if (!reader->ok() || stats.windows_started < stats_.windows_started) {
+    return false;
+  }
+
+  const int engine_reset = reader->ReadInt32();
+  if (!reader->ok() || (engine_reset != 0 && engine_reset != 1)) return false;
+
+  const int32_t num_upserts = reader->ReadInt32();
+  if (!reader->ok() || num_upserts < 0 ||
+      static_cast<size_t>(num_upserts) > reader->remaining() / 8) {
+    return false;
+  }
+  int prev_key = -1;
+  for (int32_t i = 0; i < num_upserts && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    const int64_t last_seen = reader->ReadInt64();
+    if (!reader->ok() || (i > 0 && key <= prev_key) || last_seen < 0 ||
+        last_seen > position) {
+      return false;
+    }
+    prev_key = key;
+    auto [it, inserted] = index_->open.try_emplace(key);
+    if (!inserted) {
+      index_->by_last_seen.erase({it->second.last_seen, key});
+    }
+    it->second.last_seen = last_seen;
+    index_->by_last_seen.insert({last_seen, key});
+  }
+
+  const int32_t num_tombstones = reader->ReadInt32();
+  if (!reader->ok() || num_tombstones < 0 ||
+      static_cast<size_t>(num_tombstones) > reader->remaining() / 8) {
+    return false;
+  }
+  prev_key = -1;
+  for (int32_t i = 0; i < num_tombstones && reader->ok(); ++i) {
+    const int key = reader->ReadInt32();
+    // Strictly ascending is the canonical encoding; a duplicate (or
+    // reordered) tombstone list is corruption, not a double-close.
+    if (!reader->ok() || (i > 0 && key <= prev_key)) return false;
+    prev_key = key;
+    CloseKey(key);
+  }
+  if (static_cast<int>(index_->open.size()) > config_.max_open_keys) {
+    return false;
+  }
+
+  if (engine_reset != 0) {
+    // Mirrors RotateWindow on the writer: a fresh engine over the live
+    // pool, whose delta then carries the whole young window from item 0.
+    engine_ = std::make_unique<OnlineClassifier>(model_, pool_->resource());
+  }
+  if (!engine_->ApplyDelta(reader)) return false;
+  if (!reader->AtEnd()) return false;
+
+  // Same process-local carve-outs as Restore.
+  stats.compactions = stats_.compactions;
+  stats.scratch_high_water = stats_.scratch_high_water;
+  stats.bytes_resident = stats_.bytes_resident;
+  stats.pool_blocks = stats_.pool_blocks;
+
+  position_ = position;
+  window_items_ = window_items;
+  stats_ = std::move(stats);
+  items_since_compaction_check_ = 0;
   return true;
 }
 
@@ -388,6 +588,9 @@ Checkpoint StreamServer::BuildCheckpoint() const {
 }
 
 bool StreamServer::RestoreFromCheckpoint(const Checkpoint& checkpoint) {
+  // Delta containers (version 2) carry partial state and only make sense
+  // relative to a staged base; a full restore must refuse them.
+  if (checkpoint.version != kCheckpointFormatVersion) return false;
   const CheckpointSection* section =
       checkpoint.Find(kCheckpointSectionStreamServer);
   if (section == nullptr) return false;

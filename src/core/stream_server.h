@@ -50,6 +50,7 @@
 #include <memory_resource>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -59,13 +60,8 @@
 
 namespace kvec {
 
-// Checkpoint-container section ids used by the serving stack (see the
-// container format in util/serialize.h). Stable across format versions:
-// new state gets a new id, changed payload layout bumps the container
-// version.
-inline constexpr int32_t kCheckpointSectionStreamServer = 1;
-inline constexpr int32_t kCheckpointSectionShardManifest = 2;
-inline constexpr int32_t kCheckpointSectionShard = 3;
+// Checkpoint-container section ids (kCheckpointSection*) live in the
+// registry in util/serialize.h.
 
 struct StreamServerConfig {
   // Engine rebuild period, in stream items. Should be much larger than the
@@ -227,6 +223,42 @@ class StreamServer {
   bool SaveCheckpoint(const std::string& path) const;
   bool LoadCheckpoint(const std::string& path);
 
+  // ---- Incremental (delta) checkpointing (docs/SERVING.md). ----
+  //
+  // The server tracks which keys were mutated since the last committed
+  // snapshot (observe, policy halt, eviction, rotation — every path that
+  // touches a key's serving or engine state marks it dirty), and
+  // SnapshotDelta serialises only those keys: the serving-index upserts
+  // for dirty keys still open, tombstones for dirty keys no longer open,
+  // the engine-side per-key deltas, and the encoder K/V rows appended
+  // since the base. Cost is proportional to churn, not population.
+  //
+  // The snapshot/commit pair is two-phase so a failed delta write cannot
+  // lose dirty bits: SnapshotDelta *stages* a clear (remembering the
+  // current dirty epoch); CommitDeltaBaseline applies it once the bytes
+  // are durable, erasing only entries at or below the staged epoch — a
+  // key re-dirtied between the two calls carries a later epoch and stays
+  // dirty. If the write fails, simply never commit: the next delta
+  // re-carries everything. Tracking is armed by the first
+  // StageDeltaBaseline + CommitDeltaBaseline pair (a full-checkpoint
+  // baseline); until then MarkDirty is a no-op, so servers that never
+  // checkpoint incrementally pay nothing and the dirty map cannot grow.
+  //
+  // ApplyDelta expects *this to hold exactly the predecessor state of the
+  // chain (validated via the engine's item-clock echo); it fails closed
+  // on corrupt bytes but may leave *this partially updated, so callers
+  // stage into fresh servers and commit all-or-nothing
+  // (ShardedStreamServer::RestoreFromCheckpointChain). A full Restore
+  // disarms dirty tracking; the chain loader re-arms it after commit.
+  void SnapshotDelta(BinaryWriter* writer);
+  bool ApplyDelta(BinaryReader* reader);
+  // Stages the dirty-clear + baselines matching the state being snapshot
+  // right now. SnapshotDelta stages implicitly; full-checkpoint callers
+  // (the rebase path) call this next to Snapshot() in the same control
+  // task so the baseline is atomic with the bytes.
+  void StageDeltaBaseline();
+  void CommitDeltaBaseline();
+
  private:
   struct OpenKey {
     int64_t last_seen = 0;  // global stream position of the latest item
@@ -269,6 +301,12 @@ class StreamServer {
   void CloseKey(OpenKeyMap::iterator it);
   void CloseKey(int key);  // no-op if not open
 
+  // Records `key` as mutated since the last committed delta baseline.
+  // No-op until dirty tracking is armed (see SnapshotDelta above).
+  void MarkDirty(int key) {
+    if (dirty_tracking_) dirty_keys_[key] = dirty_epoch_;
+  }
+
   // Runs the fragmentation heuristic after `items` more observed items;
   // calls Compact() when it trips.
   void MaybeCompact(int items);
@@ -287,6 +325,25 @@ class StreamServer {
   int window_items_ = 0;  // items in the current engine window
   int items_since_compaction_check_ = 0;
   mutable StreamServerStats stats_;
+
+  // ---- Dirty-key tracking (incremental checkpoints). ----
+  // Plain std containers, deliberately NOT pool-backed: the dirty map is
+  // checkpoint bookkeeping, not serving state — Compact() must not copy
+  // it between pools and a snapshot of it is never taken.
+  bool dirty_tracking_ = false;
+  int64_t dirty_epoch_ = 0;
+  std::unordered_map<int, int64_t> dirty_keys_;  // key -> epoch of mutation
+  // Baselines of the last committed snapshot: the engine item clock the
+  // encoder tail starts from, and the window generation (a mismatch means
+  // the engine was rebuilt since the base, so the delta carries the whole
+  // young window from item 0).
+  int base_engine_items_ = 0;
+  int base_windows_started_ = 1;
+  // Staged by StageDeltaBaseline, applied by CommitDeltaBaseline.
+  bool pending_baseline_ = false;
+  int64_t pending_epoch_ = 0;
+  int pending_engine_items_ = 0;
+  int pending_windows_started_ = 1;
 };
 
 }  // namespace kvec

@@ -1,5 +1,6 @@
 #include "util/serialize.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -254,7 +255,7 @@ bool CheckpointDecode(const std::string& bytes, Checkpoint* out) {
   if (!frame.Read(&version, sizeof(version))) return false;
   // Future versions are unreadable by design: the writer bumps the version
   // exactly when an existing payload layout changes.
-  if (version < 1 || version > kCheckpointFormatVersion) return false;
+  if (version < 1 || version > kCheckpointMaxFormatVersion) return false;
   int32_t count = 0;
   if (!frame.Read(&count, sizeof(count))) return false;
   // Each section costs at least its 12-byte header: a corrupted count
@@ -300,6 +301,31 @@ bool CheckpointLoad(const std::string& path, Checkpoint* out) {
   std::string contents((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
   return CheckpointDecode(contents, out);
+}
+
+uint64_t CheckpointFingerprint(const std::string& bytes) {
+  // FNV-1a 64. Stable across platforms (byte-wise, no alignment games).
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace kvec

@@ -19,6 +19,15 @@
 // version, and length-prefixed sections keyed by an integer id. Readers
 // skip sections whose id they do not recognise, so a version bump is only
 // needed when an existing section's payload layout changes.
+//
+// Two container versions exist today:
+//   * version 1 — full checkpoints (the complete serving state; the layout
+//     pinned byte-for-byte by tests/data/stream_server_v1.ckpt).
+//   * version 2 — delta checkpoints (docs/SERVING.md "Incremental
+//     checkpoints"): a chain manifest carrying the base checkpoint's
+//     fingerprint plus one dirty-key delta section per shard. Deltas never
+//     stand alone; they are applied on top of a restored version-1 base in
+//     chain order, with fingerprint linkage validated link by link.
 #pragma once
 
 #include <cstdint>
@@ -108,7 +117,31 @@ class BinaryReader {
 // skip what they do not recognise.
 
 inline constexpr uint32_t kCheckpointMagic = 0x4b564350u;  // "PCVK" on disk
+// Version 1: full checkpoints. Pinned byte-for-byte by the v1 golden; a
+// `Checkpoint` defaults to this so the full path can never silently drift.
 inline constexpr int32_t kCheckpointFormatVersion = 1;
+// Version 2: delta checkpoints (chain manifest + per-shard dirty-key
+// deltas). Only `ShardedStreamServer::CheckpointIncremental` emits these.
+inline constexpr int32_t kCheckpointDeltaFormatVersion = 2;
+// Highest version CheckpointDecode accepts.
+inline constexpr int32_t kCheckpointMaxFormatVersion = kCheckpointDeltaFormatVersion;
+
+// ---- Section-id registry -------------------------------------------------
+//
+// Every section id in the checkpoint container namespace is defined here and
+// nowhere else (enforced by the `section-id` lint rule), so two subsystems
+// can never collide on an id without the clash being visible in one file.
+//
+// Serving state (full checkpoints, version 1):
+inline constexpr int32_t kCheckpointSectionStreamServer = 1;
+inline constexpr int32_t kCheckpointSectionShardManifest = 2;
+inline constexpr int32_t kCheckpointSectionShard = 3;
+// Delta chains (version 2):
+inline constexpr int32_t kCheckpointSectionDeltaManifest = 4;
+inline constexpr int32_t kCheckpointSectionShardDelta = 5;
+// Model bundles (src/cli/model_io.h owns the payload layouts):
+inline constexpr int32_t kCheckpointSectionModelConfig = 16;
+inline constexpr int32_t kCheckpointSectionModelParams = 17;
 
 struct CheckpointSection {
   int32_t id = 0;
@@ -134,6 +167,17 @@ bool CheckpointDecode(const std::string& bytes, Checkpoint* out);
 // File entry points: Save frames + writes, Load reads + parses.
 bool CheckpointSave(const std::string& path, const Checkpoint& checkpoint);
 bool CheckpointLoad(const std::string& path, Checkpoint* out);
+
+// FNV-1a 64 over the encoded bytes. Delta-chain manifests embed the base
+// checkpoint's fingerprint (and the previous link's) so a delta can never be
+// applied to a base it was not cut against. Not cryptographic — this guards
+// against operational mix-ups and reordering, not adversaries.
+uint64_t CheckpointFingerprint(const std::string& bytes);
+
+// Writes `bytes` to `path` via a sibling ".tmp" file + rename, so a crash
+// mid-write leaves either the old file or the complete new one on disk,
+// never a torn one. Delta-chain writes go through this.
+bool AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 }  // namespace kvec
 

@@ -12,10 +12,19 @@
 // Regenerating (only when adding a NEW version's golden):
 //   KVEC_REGEN_GOLDEN=tests/data/stream_server_v1.ckpt ./checkpoint_golden_test
 // then update the pinned constants below from the printed values.
+//
+// PR 10 adds the version-2 delta golden: a two-shard chain (base +
+// delta.1) produced by the same tiny recipe, pinning the delta container
+// frame, the manifest layout, and chain restore. Regenerating it:
+//   KVEC_REGEN_GOLDEN_V2=tests/data/stream_server_v2_base.ckpt \
+//       ./checkpoint_golden_test
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "core/sharded_stream_server.h"
 #include "core/stream_server.h"
 #include "util/serialize.h"
 #include "gtest/gtest.h"
@@ -152,11 +161,106 @@ TEST(CheckpointGoldenTest, UnknownSectionsAreSkipped) {
       std::string(KVEC_TEST_DATA_DIR) + kGoldenFile, &checkpoint));
   // A future writer may append sections this reader has never heard of;
   // they must not break restore.
+  // kvec-lint: allow-next(section-id) deliberately unknown future id
   checkpoint.sections.push_back({999, std::string("future payload")});
   KvecModel model = MakeGoldenModel();
   StreamServer server(model, GoldenServerConfig());
   ASSERT_TRUE(server.RestoreCheckpoint(CheckpointEncode(checkpoint)));
   EXPECT_EQ(server.stats().items_processed, 120);
+}
+
+// ---- Version-2 delta golden (PR 10) --------------------------------------
+
+constexpr char kDeltaGoldenBase[] = "/stream_server_v2_base.ckpt";
+
+ShardedStreamServerConfig GoldenShardedConfig() {
+  ShardedStreamServerConfig config;
+  config.num_shards = 2;
+  config.shard = GoldenServerConfig();
+  return config;
+}
+
+// Same item recipe as the v1 stream, extended: the base is cut at item
+// 120 (the v1 golden's cut) and delta 1 carries items 120..179.
+void FeedGoldenRange(ShardedStreamServer* server, int from, int to) {
+  for (int i = from; i < to; ++i) {
+    Item item;
+    item.key = i % 23;
+    item.value = {i % 3};
+    item.time = i;
+    server->Observe(item);
+  }
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CheckpointGoldenTest, RegenerateDeltaGolden) {
+  const char* out_base = std::getenv("KVEC_REGEN_GOLDEN_V2");
+  if (out_base == nullptr) {
+    GTEST_SKIP() << "set KVEC_REGEN_GOLDEN_V2=<base path> to write a fresh "
+                    "delta golden (base + .delta.1)";
+  }
+  KvecModel model = MakeGoldenModel();
+  ShardedStreamServer server(model, GoldenShardedConfig());
+  ShardedStreamServer::IncrementalCheckpointState state;
+  FeedGoldenRange(&server, 0, 120);
+  ASSERT_TRUE(server.CheckpointIncremental(out_base, 0, &state));
+  FeedGoldenRange(&server, 120, 180);
+  ASSERT_TRUE(server.CheckpointIncremental(out_base, 0, &state));
+  const StreamServerStats stats = server.stats();
+  std::printf(
+      "delta golden written to %s{,.delta.1}\n  open_keys=%d items=%lld "
+      "classified=%lld windows=%d\n",
+      out_base, server.open_keys(),
+      static_cast<long long>(stats.items_processed),
+      static_cast<long long>(stats.sequences_classified),
+      stats.windows_started);
+}
+
+TEST(CheckpointGoldenTest, DeltaFrameDecodesAtVersion2) {
+  const std::string base_path =
+      std::string(KVEC_TEST_DATA_DIR) + kDeltaGoldenBase;
+  const std::string delta_path = ShardedStreamServer::DeltaPath(base_path, 1);
+
+  Checkpoint delta;
+  ASSERT_TRUE(CheckpointLoad(delta_path, &delta))
+      << "committed delta golden missing or unreadable";
+  EXPECT_EQ(delta.version, kCheckpointDeltaFormatVersion);
+  ASSERT_EQ(delta.sections.size(), 3u);
+  EXPECT_EQ(delta.sections[0].id, kCheckpointSectionDeltaManifest);
+  EXPECT_EQ(delta.sections[1].id, kCheckpointSectionShardDelta);
+  EXPECT_EQ(delta.sections[2].id, kCheckpointSectionShardDelta);
+
+  // Manifest layout: base fingerprint, previous-link fingerprint (the base
+  // again for link 1), sequence number, shard count.
+  BinaryReader reader(delta.sections[0].payload);
+  const uint64_t stored_base = static_cast<uint64_t>(reader.ReadInt64());
+  const uint64_t stored_prev = static_cast<uint64_t>(reader.ReadInt64());
+  EXPECT_EQ(reader.ReadInt64(), 1);  // seq
+  EXPECT_EQ(reader.ReadInt32(), 2);  // num_shards
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(stored_base, CheckpointFingerprint(SlurpFile(base_path)));
+  EXPECT_EQ(stored_prev, stored_base);
+}
+
+TEST(CheckpointGoldenTest, DeltaChainRestoresIntoCompatibleServer) {
+  const std::string base_path =
+      std::string(KVEC_TEST_DATA_DIR) + kDeltaGoldenBase;
+  KvecModel model = MakeGoldenModel();
+  ShardedStreamServer restored(model, GoldenShardedConfig());
+  ASSERT_TRUE(restored.RestoreFromCheckpointChain(base_path));
+
+  // The committed chain must reconstruct exactly the state a fresh server
+  // reaches by serving the generator's 180 items directly.
+  ShardedStreamServer replayed(model, GoldenShardedConfig());
+  FeedGoldenRange(&replayed, 0, 180);
+  EXPECT_EQ(restored.EncodeCheckpoint(), replayed.EncodeCheckpoint());
+  EXPECT_EQ(restored.stats().items_processed, 180);
 }
 
 }  // namespace

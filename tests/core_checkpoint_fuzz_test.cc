@@ -10,7 +10,11 @@
 //
 // ~1.2k seeded cases on an untrained tiny model, so the serving-layer
 // bookkeeping dominates and the suite stays fast.
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -210,6 +214,298 @@ TEST_F(CheckpointFuzzTest, ShardedRestoreFailsCleanlyOnCorruptShard) {
       target.Flush();
     }
   }
+}
+
+// ---- Delta-chain corruption (PR 10) --------------------------------------
+//
+// Same property, applied to RestoreFromCheckpointChain: truncated,
+// bit-flipped, wrong-fingerprint, reordered, or duplicate-tombstone delta
+// files NEVER crash or partially mutate the target — a failed chain load
+// leaves the target byte-for-byte fresh, and the original chain keeps
+// loading after each corrupted attempt.
+class DeltaChainFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = std::make_unique<KvecModel>(MakeTinyModel());
+    stream_ = MakeStream(300);
+    config_.num_shards = 2;
+    config_.shard = TightConfig();
+    base_ = ::testing::TempDir() + "/kvec_fuzz_chain.ckpt";
+    RemoveChain();
+
+    ShardedStreamServer source(*model_, config_);
+    ShardedStreamServer::IncrementalCheckpointState state;
+    size_t fed = 0;
+    for (; fed < 150; ++fed) source.Observe(stream_[fed]);
+    ASSERT_TRUE(source.CheckpointIncremental(base_, 0, &state));
+    for (; fed < 225; ++fed) source.Observe(stream_[fed]);
+    ASSERT_TRUE(source.CheckpointIncremental(base_, 0, &state));
+    for (; fed < 300; ++fed) source.Observe(stream_[fed]);
+    ASSERT_TRUE(source.CheckpointIncremental(base_, 0, &state));
+    expected_ = source.EncodeCheckpoint();
+
+    ASSERT_TRUE(Slurp(base_, &base_bytes_));
+    ASSERT_TRUE(Slurp(Delta(1), &delta1_bytes_));
+    ASSERT_TRUE(Slurp(Delta(2), &delta2_bytes_));
+
+    ShardedStreamServer fresh(*model_, config_);
+    fresh_fingerprint_ = fresh.EncodeCheckpoint();
+  }
+
+  void TearDown() override { RemoveChain(); }
+
+  std::string Delta(int64_t seq) const {
+    return ShardedStreamServer::DeltaPath(base_, seq);
+  }
+
+  void RemoveChain() {
+    std::remove(Delta(2).c_str());
+    std::remove(Delta(1).c_str());
+    std::remove(base_.c_str());
+  }
+
+  static bool Slurp(const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out->assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+    return true;
+  }
+
+  void RestoreOriginalChain() {
+    ASSERT_TRUE(AtomicWriteFile(base_, base_bytes_));
+    ASSERT_TRUE(AtomicWriteFile(Delta(1), delta1_bytes_));
+    ASSERT_TRUE(AtomicWriteFile(Delta(2), delta2_bytes_));
+  }
+
+  // A corrupted chain either fails closed with a byte-for-byte fresh
+  // target, or (a flip landing in float payload the framing cannot vet)
+  // loads a server that is still structurally sound.
+  void CheckChainCase(size_t case_index) {
+    ShardedStreamServer target(*model_, config_);
+    const bool restored = target.RestoreFromCheckpointChain(base_);
+    if (!restored) {
+      EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_)
+          << "failed chain load mutated the target, case " << case_index;
+    } else {
+      for (int i = 0; i < 8; ++i) target.Observe(stream_[i]);
+      target.Flush();
+    }
+  }
+
+  // The pristine chain must keep loading exactly after any corrupted
+  // attempt (corruption lives in the files, never leaks into state).
+  void ExpectPristineChainStillLoads() {
+    RestoreOriginalChain();
+    ShardedStreamServer target(*model_, config_);
+    ASSERT_TRUE(target.RestoreFromCheckpointChain(base_));
+    EXPECT_EQ(target.EncodeCheckpoint(), expected_);
+  }
+
+  std::unique_ptr<KvecModel> model_;
+  std::vector<Item> stream_;
+  ShardedStreamServerConfig config_;
+  std::string base_;
+  std::string expected_;
+  std::string base_bytes_, delta1_bytes_, delta2_bytes_;
+  std::string fresh_fingerprint_;
+};
+
+TEST_F(DeltaChainFuzzTest, DeltaTruncationsFailCleanly) {
+  Rng rng(0xC0FFEE);
+  size_t case_index = 0;
+  // An existing-but-torn delta file is corruption, not end-of-chain: the
+  // container framing must reject every proper prefix.
+  for (size_t cut = 0; cut < 48; ++cut) {
+    ASSERT_TRUE(AtomicWriteFile(Delta(1), delta1_bytes_.substr(0, cut)));
+    ShardedStreamServer target(*model_, config_);
+    EXPECT_FALSE(target.RestoreFromCheckpointChain(base_)) << "cut " << cut;
+    EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_) << "cut " << cut;
+    ++case_index;
+  }
+  for (int i = 0; i < 150; ++i) {
+    const size_t cut = static_cast<size_t>(
+        rng.NextInt(static_cast<int>(delta1_bytes_.size())));
+    ASSERT_TRUE(AtomicWriteFile(Delta(1), delta1_bytes_.substr(0, cut)));
+    CheckChainCase(case_index++);
+  }
+  // A MISSING delta.1 with delta.2 still present is end-of-chain at the
+  // base — by design — and the stale delta.2 must not be picked up.
+  std::remove(Delta(1).c_str());
+  {
+    ShardedStreamServer target(*model_, config_);
+    ASSERT_TRUE(target.RestoreFromCheckpointChain(base_));
+    Checkpoint base_only;
+    ASSERT_TRUE(CheckpointDecode(base_bytes_, &base_only));
+    ShardedStreamServer base_target(*model_, config_);
+    ASSERT_TRUE(base_target.RestoreCheckpoint(base_bytes_));
+    EXPECT_EQ(target.EncodeCheckpoint(), base_target.EncodeCheckpoint());
+  }
+  ExpectPristineChainStillLoads();
+}
+
+TEST_F(DeltaChainFuzzTest, DeltaBitFlipsNeverCrashOrPartiallyMutate) {
+  Rng rng(0xBADF00D);
+  const std::string* originals[3] = {&base_bytes_, &delta1_bytes_,
+                                     &delta2_bytes_};
+  for (int i = 0; i < 250; ++i) {
+    const int which = rng.NextInt(3);
+    std::string corrupt = *originals[which];
+    const int flips = 1 + rng.NextInt(8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t at = static_cast<size_t>(
+          rng.NextInt(static_cast<int>(corrupt.size())));
+      corrupt[at] = static_cast<char>(corrupt[at] ^ (1 << rng.NextInt(8)));
+    }
+    const std::string path =
+        which == 0 ? base_ : Delta(which);
+    ASSERT_TRUE(AtomicWriteFile(path, corrupt));
+    CheckChainCase(static_cast<size_t>(i));
+    ASSERT_TRUE(AtomicWriteFile(path, *originals[which]));
+  }
+  ExpectPristineChainStillLoads();
+}
+
+TEST_F(DeltaChainFuzzTest, WrongFingerprintsAndSequenceAreRejected) {
+  Checkpoint delta;
+  ASSERT_TRUE(CheckpointDecode(delta1_bytes_, &delta));
+  const CheckpointSection* manifest =
+      delta.Find(kCheckpointSectionDeltaManifest);
+  ASSERT_NE(manifest, nullptr);
+  BinaryReader reader(manifest->payload);
+  const int64_t base_fp = reader.ReadInt64();
+  const int64_t prev_fp = reader.ReadInt64();
+  const int64_t seq = reader.ReadInt64();
+  const int32_t num_shards = reader.ReadInt32();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader.AtEnd());
+  EXPECT_EQ(static_cast<uint64_t>(base_fp),
+            CheckpointFingerprint(base_bytes_));
+  EXPECT_EQ(base_fp, prev_fp);  // first link hangs off the base
+  EXPECT_EQ(seq, 1);
+  EXPECT_EQ(num_shards, 2);
+
+  // One field off at a time: a delta cut against another base, spliced
+  // after the wrong link, at the wrong position, or for another topology.
+  struct Mutation {
+    const char* name;
+    int64_t base, prev, seq;
+    int32_t shards;
+  };
+  const Mutation mutations[] = {
+      {"wrong base fingerprint", base_fp ^ 1, prev_fp, seq, num_shards},
+      {"wrong prev fingerprint", base_fp, prev_fp ^ 1, seq, num_shards},
+      {"wrong sequence number", base_fp, prev_fp, seq + 1, num_shards},
+      {"wrong shard count", base_fp, prev_fp, seq, num_shards + 1},
+  };
+  for (const Mutation& mutation : mutations) {
+    BinaryWriter writer;
+    writer.WriteInt64(mutation.base);
+    writer.WriteInt64(mutation.prev);
+    writer.WriteInt64(mutation.seq);
+    writer.WriteInt32(mutation.shards);
+    Checkpoint mutated = delta;
+    for (CheckpointSection& section : mutated.sections) {
+      if (section.id == kCheckpointSectionDeltaManifest) {
+        section.payload = writer.buffer();
+      }
+    }
+    ASSERT_TRUE(AtomicWriteFile(Delta(1), CheckpointEncode(mutated)));
+    ShardedStreamServer target(*model_, config_);
+    EXPECT_FALSE(target.RestoreFromCheckpointChain(base_)) << mutation.name;
+    EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_) << mutation.name;
+  }
+  ExpectPristineChainStillLoads();
+}
+
+TEST_F(DeltaChainFuzzTest, ReorderedChainIsRejected) {
+  // Swap the two links on disk: delta 2's manifest says seq 2 / prev =
+  // fp(delta 1), neither of which holds in slot 1.
+  ASSERT_TRUE(AtomicWriteFile(Delta(1), delta2_bytes_));
+  ASSERT_TRUE(AtomicWriteFile(Delta(2), delta1_bytes_));
+  {
+    ShardedStreamServer target(*model_, config_);
+    EXPECT_FALSE(target.RestoreFromCheckpointChain(base_));
+    EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_);
+  }
+  // Replaying the SAME link twice is just as dead: slot 2's copy claims
+  // seq 1 and hangs off the base, not off itself.
+  ASSERT_TRUE(AtomicWriteFile(Delta(1), delta1_bytes_));
+  ASSERT_TRUE(AtomicWriteFile(Delta(2), delta1_bytes_));
+  {
+    ShardedStreamServer target(*model_, config_);
+    EXPECT_FALSE(target.RestoreFromCheckpointChain(base_));
+    EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_);
+  }
+  ExpectPristineChainStillLoads();
+}
+
+TEST_F(DeltaChainFuzzTest, DuplicateTombstoneIsRejected) {
+  Checkpoint delta;
+  ASSERT_TRUE(CheckpointDecode(delta1_bytes_, &delta));
+  // Rebuild shard 0's delta payload value by value so the tombstone list
+  // can be tampered with surgically; the engine tail rides along verbatim.
+  size_t target_section = delta.sections.size();
+  for (size_t i = 0; i < delta.sections.size(); ++i) {
+    if (delta.sections[i].id != kCheckpointSectionShardDelta) continue;
+    BinaryReader peek(delta.sections[i].payload);
+    if (peek.ReadInt32() == 0) {
+      target_section = i;
+      break;
+    }
+  }
+  ASSERT_LT(target_section, delta.sections.size());
+  const std::string& payload = delta.sections[target_section].payload;
+
+  BinaryReader reader(payload);
+  BinaryWriter writer;
+  writer.WriteInt32(reader.ReadInt32());  // shard id
+  for (int i = 0; i < 4; ++i) writer.WriteInt32(reader.ReadInt32());  // config
+  writer.WriteInt64(reader.ReadInt64());  // position
+  writer.WriteInt32(reader.ReadInt32());  // window_items
+  for (int i = 0; i < 7; ++i) writer.WriteInt64(reader.ReadInt64());  // stats
+  writer.WriteInt32(reader.ReadInt32());  // windows_started
+  const int32_t num_classes = reader.ReadInt32();
+  writer.WriteInt32(num_classes);
+  for (int32_t c = 0; c < num_classes; ++c) {
+    writer.WriteInt64(reader.ReadInt64());
+  }
+  writer.WriteInt32(reader.ReadInt32());  // engine_reset
+  const int32_t num_upserts = reader.ReadInt32();
+  writer.WriteInt32(num_upserts);
+  for (int32_t i = 0; i < num_upserts; ++i) {
+    writer.WriteInt32(reader.ReadInt32());
+    writer.WriteInt64(reader.ReadInt64());
+  }
+  const int32_t num_tombstones = reader.ReadInt32();
+  ASSERT_TRUE(reader.ok());
+  // The tight config guarantees closures between the base and delta 1.
+  ASSERT_GE(num_tombstones, 1);
+  std::vector<int32_t> tombstones(static_cast<size_t>(num_tombstones));
+  for (int32_t& key : tombstones) key = reader.ReadInt32();
+  ASSERT_TRUE(reader.ok());
+  const std::string engine_tail =
+      payload.substr(payload.size() - reader.remaining());
+
+  // Control first: an untampered rebuild must be byte-identical, so the
+  // mutated case below fails because of the duplicate and nothing else.
+  {
+    BinaryWriter control = writer;
+    control.WriteInt32(num_tombstones);
+    for (int32_t key : tombstones) control.WriteInt32(key);
+    EXPECT_EQ(control.buffer() + engine_tail, payload);
+  }
+
+  // The same key twice: a double-close is corruption, not idempotent.
+  writer.WriteInt32(num_tombstones + 1);
+  for (int32_t key : tombstones) writer.WriteInt32(key);
+  writer.WriteInt32(tombstones.back());
+  delta.sections[target_section].payload = writer.buffer() + engine_tail;
+  ASSERT_TRUE(AtomicWriteFile(Delta(1), CheckpointEncode(delta)));
+  ShardedStreamServer target(*model_, config_);
+  EXPECT_FALSE(target.RestoreFromCheckpointChain(base_));
+  EXPECT_EQ(target.EncodeCheckpoint(), fresh_fingerprint_);
+  ExpectPristineChainStillLoads();
 }
 
 }  // namespace

@@ -1,0 +1,24 @@
+// Fixture: fires section-id — a registry constant defined outside
+// src/util/serialize.h, and integer literals used as section ids.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct CheckpointSection {
+  int32_t id = 0;
+  std::string payload;
+};
+struct Checkpoint {
+  std::vector<CheckpointSection> sections;
+  const CheckpointSection* Find(int32_t id) const { return nullptr; }
+};
+
+// A duplicate registry definition (the real one lives in serialize.h).
+constexpr int32_t kCheckpointSectionRogue = 6;
+
+void FixtureSectionId(Checkpoint* checkpoint) {
+  checkpoint->sections.push_back({3, std::string("payload")});  // raw id
+  CheckpointSection section{17, std::string("model")};          // raw id
+  checkpoint->sections.push_back(section);
+  (void)checkpoint->Find(4);                                    // raw id
+}

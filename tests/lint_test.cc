@@ -90,7 +90,7 @@ TEST(LintTest, ViolationFixturesFlagEveryRule) {
       "[fault-point-doc]",  "[naked-new]",   "[banned-call]",
       "[pragma-once]",      "[iostream-outside-cli]",
       "[raw-syscall]",      "[test-wiring]", "[include-path]",
-      "[pool-discipline]",
+      "[pool-discipline]",  "[section-id]",
       // Not a configurable rule but a linter invariant: suppressions must
       // name a real rule and carry a reason.
       "[bad-allow]",

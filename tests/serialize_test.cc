@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -135,7 +137,9 @@ TEST(SerializeTest, RemainingTracksConsumption) {
 
 Checkpoint MakeTwoSectionCheckpoint() {
   Checkpoint checkpoint;
+  // kvec-lint: allow-next(section-id) container framing test, ids arbitrary
   checkpoint.sections.push_back({1, std::string("alpha")});
+  // kvec-lint: allow-next(section-id) container framing test, ids arbitrary
   checkpoint.sections.push_back({7, std::string("\x00\x01\x02", 3)});
   return checkpoint;
 }
@@ -150,8 +154,11 @@ TEST(CheckpointContainerTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded.sections[0].payload, "alpha");
   EXPECT_EQ(decoded.sections[1].id, 7);
   EXPECT_EQ(decoded.sections[1].payload, std::string("\x00\x01\x02", 3));
+  // kvec-lint: allow-next(section-id) framing test looks up arbitrary ids
   ASSERT_NE(decoded.Find(7), nullptr);
+  // kvec-lint: allow-next(section-id) framing test looks up arbitrary ids
   EXPECT_EQ(decoded.Find(7)->payload.size(), 3u);
+  // kvec-lint: allow-next(section-id) framing test looks up arbitrary ids
   EXPECT_EQ(decoded.Find(99), nullptr);
 }
 
@@ -173,11 +180,44 @@ TEST(CheckpointContainerTest, RejectsBadMagic) {
 
 TEST(CheckpointContainerTest, RejectsFutureVersion) {
   Checkpoint future = MakeTwoSectionCheckpoint();
-  future.version = kCheckpointFormatVersion + 1;
+  future.version = kCheckpointMaxFormatVersion + 1;
   Checkpoint decoded;
   EXPECT_FALSE(CheckpointDecode(CheckpointEncode(future), &decoded));
   future.version = 0;
   EXPECT_FALSE(CheckpointDecode(CheckpointEncode(future), &decoded));
+}
+
+TEST(CheckpointContainerTest, AcceptsEveryKnownVersion) {
+  for (int32_t v = kCheckpointFormatVersion; v <= kCheckpointMaxFormatVersion;
+       ++v) {
+    Checkpoint known = MakeTwoSectionCheckpoint();
+    known.version = v;
+    Checkpoint decoded;
+    ASSERT_TRUE(CheckpointDecode(CheckpointEncode(known), &decoded));
+    EXPECT_EQ(decoded.version, v);
+  }
+}
+
+TEST(AtomicWriteFileTest, WritesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "/atomic_write_test.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "first"));
+  ASSERT_TRUE(AtomicWriteFile(path, std::string("\x00second\xff", 9)));
+  std::ifstream in(path, std::ios::binary);
+  std::string read((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(read, std::string("\x00second\xff", 9));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFingerprintTest, SensitiveToEveryByte) {
+  const std::string bytes = CheckpointEncode(MakeTwoSectionCheckpoint());
+  const uint64_t base = CheckpointFingerprint(bytes);
+  EXPECT_EQ(base, CheckpointFingerprint(bytes));  // deterministic
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(CheckpointFingerprint(mutated), base) << "byte " << i;
+  }
 }
 
 TEST(CheckpointContainerTest, RejectsEveryTruncationPoint) {
